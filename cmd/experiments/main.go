@@ -1,0 +1,123 @@
+// Command experiments regenerates the paper's tables and figures
+// (Table 1, 3-6; Figures 4-7) on the simulated device.
+//
+// Usage:
+//
+//	experiments -all            # everything, reduced scale
+//	experiments -table 5        # one table
+//	experiments -fig 7          # one figure
+//	experiments -all -config full   # paper-scale settings (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tensat/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1, 3, 4, 5 or 6)")
+		fig    = flag.Int("fig", 0, "regenerate one figure (4, 5, 6 or 7)")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		config = flag.String("config", "default", "config: default (fast) or full (paper scale)")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	if *config == "full" {
+		cfg = exp.Full()
+	}
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		return
+	}
+
+	run := func(id int, enabled bool, f func() error) {
+		if !enabled {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("experiment %d: %v", id, err)
+		}
+		fmt.Println()
+	}
+
+	run(1, *all || *table == 1, func() error {
+		rows, err := cfg.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatTable1(rows))
+		return nil
+	})
+	run(3, *all || *table == 3, func() error {
+		rows, err := cfg.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatTable3(rows))
+		return nil
+	})
+	run(4, *all || *table == 4, func() error {
+		rows, err := cfg.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatTable4(rows))
+		return nil
+	})
+	run(5, *all || *table == 5, func() error {
+		rows, err := cfg.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatTable5(rows))
+		return nil
+	})
+	run(6, *all || *table == 6, func() error {
+		rows, err := cfg.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatTable6(rows))
+		return nil
+	})
+	run(4, *all || *fig == 4, func() error {
+		rows, err := cfg.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure4(rows))
+		return nil
+	})
+	run(5, *all || *fig == 5, func() error {
+		rows, err := cfg.Figure5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure5(rows))
+		return nil
+	})
+	run(6, *all || *fig == 6, func() error {
+		tn, ts, err := cfg.Figure6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure6(tn, ts))
+		return nil
+	})
+	run(7, *all || *fig == 7, func() error {
+		rows, err := cfg.Figure7(3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure7(rows))
+		return nil
+	})
+}

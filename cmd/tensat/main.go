@@ -1,0 +1,113 @@
+// Command tensat optimizes one of the benchmark models with the
+// TENSAT pipeline and prints a report.
+//
+// Usage:
+//
+//	tensat -model NasRNN [-scale full] [-kmulti 1] [-extractor ilp]
+//	       [-filter efficient] [-nodelimit 20000] [-iters 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tensat"
+	"tensat/internal/models"
+	"tensat/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tensat: ")
+
+	var (
+		model     = flag.String("model", "NasRNN", "benchmark model (NasRNN, BERT, ResNeXt-50, NasNet-A, SqueezeNet, VGG-19, Inception-v3, ResNet-50)")
+		load      = flag.String("load", "", "load a graph from a .sexpr file instead of -model")
+		save      = flag.String("save", "", "write the optimized graph to this file")
+		dot       = flag.String("dot", "", "write the optimized graph in Graphviz dot format to this file")
+		scale     = flag.String("scale", "test", "model scale: test or full")
+		kmulti    = flag.Int("kmulti", 1, "iterations of multi-pattern rewrites (k_multi)")
+		extractor = flag.String("extractor", "ilp", "extraction algorithm: ilp or greedy")
+		filter    = flag.String("filter", "efficient", "cycle filtering: efficient, vanilla or none")
+		nodeLimit = flag.Int("nodelimit", 20000, "e-graph node limit (N_max)")
+		iters     = flag.Int("iters", 15, "exploration iteration limit (k_max)")
+		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "ILP solver timeout")
+	)
+	flag.Parse()
+
+	var g *tensat.Graph
+	name := *model
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = tensor.UnmarshalGraph(data)
+		if err != nil {
+			log.Fatalf("parsing %s: %v", *load, err)
+		}
+		name = *load
+	} else {
+		m, err := models.ByName(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := models.ScaleTest
+		if *scale == "full" {
+			s = models.ScaleFull
+		}
+		g = m.Build(s)
+	}
+
+	opt := tensat.DefaultOptions()
+	opt.KMulti = *kmulti
+	opt.NodeLimit = *nodeLimit
+	opt.IterLimit = *iters
+	opt.ILPTimeout = *ilpTime
+	if *extractor == "greedy" {
+		opt.Extractor = tensat.ExtractGreedy
+	}
+	switch *filter {
+	case "vanilla":
+		opt.CycleFilter = tensat.FilterVanilla
+	case "none":
+		opt.CycleFilter = tensat.FilterNone
+	}
+
+	res, err := tensat.Optimize(g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:            %s (scale=%s)\n", name, *scale)
+	fmt.Printf("original cost:    %.1f us   ops: %s\n", res.OrigCost, tensor.HistogramString(g.OpHistogram()))
+	fmt.Printf("optimized cost:   %.1f us   ops: %s\n", res.OptCost, tensor.HistogramString(res.Graph.OpHistogram()))
+	fmt.Printf("speedup:          %.1f%%\n", res.SpeedupPercent)
+	fmt.Printf("exploration:      %v  (%d iterations, %d e-nodes, %d e-classes, saturated=%v)\n",
+		res.ExploreTime.Round(time.Millisecond), res.Iterations, res.ENodes, res.EClasses, res.Saturated)
+	fmt.Printf("extraction:       %v  (filtered e-nodes: %d, ILP optimal: %v)\n",
+		res.ExtractTime.Round(time.Millisecond), res.FilteredNodes, res.ILPOptimal)
+
+	if err := res.Graph.Validate(); err != nil {
+		log.Fatalf("optimized graph failed validation: %v", err)
+	}
+	if *save != "" {
+		data, err := res.Graph.MarshalText()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved optimized graph to %s\n", *save)
+	}
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(res.Graph.Dot()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved dot rendering to %s\n", *dot)
+	}
+}

@@ -1,0 +1,49 @@
+// Multiquery: a transformer-style attention block whose Q/K/V
+// projections read the same input. The multi-pattern rewrite of
+// Figure 2 (plus the Figure 8 concat factoring) lets the optimizer
+// batch all three projections into one matmul — the optimization BERT
+// benefits from in the paper's evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tensat"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		seq = 64
+		hid = 256
+	)
+	b := tensat.NewBuilder()
+	x := b.Input("tokens", seq, hid)
+	wq := b.Weight("wq", hid, hid)
+	wk := b.Weight("wk", hid, hid)
+	wv := b.Weight("wv", hid, hid)
+
+	q := b.Matmul(tensat.ActNone, x, wq)
+	k := b.Matmul(tensat.ActNone, x, wk)
+	v := b.Matmul(tensat.ActNone, x, wv)
+	scores := b.Matmul(tensat.ActNone, q, b.Transpose(k, 1, 0))
+	attn := b.Matmul(tensat.ActNone, scores, v)
+	g, err := b.Finish(attn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := tensat.DefaultOptions()
+	res, err := tensat.Optimize(g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attention block: %.1f us -> %.1f us (%.1f%% speedup)\n",
+		res.OrigCost, res.OptCost, res.SpeedupPercent)
+	fmt.Printf("e-graph: %d nodes, %d classes, %d exploration iterations\n",
+		res.ENodes, res.EClasses, res.Iterations)
+	fmt.Println("\noptimized graph:")
+	fmt.Println(res.Graph)
+}

@@ -1,0 +1,52 @@
+// NasRNN: optimize the paper's headline benchmark — a NAS-discovered
+// RNN cell whose many small matmuls and element-wise kernels merge
+// into a few wide ones (the Figure 11 pattern family). Compares the
+// TENSAT result against the sequential TASO baseline, reproducing the
+// shape of Table 1's NasRNN row.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tensat"
+	"tensat/internal/cost"
+	"tensat/internal/models"
+	"tensat/internal/rules"
+	"tensat/internal/taso"
+	"tensat/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g := models.NasRNN(models.ScaleTest)
+	model := tensat.DefaultCostModel()
+	orig := tensat.GraphCost(model, g)
+	fmt.Printf("NasRNN original: cost %.1f us, ops: %s\n\n",
+		orig, tensor.HistogramString(g.OpHistogram()))
+
+	// TENSAT: equality saturation + ILP extraction.
+	start := time.Now()
+	res, err := tensat.Optimize(g, tensat.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TENSAT: cost %.1f us (%.1f%% speedup) in %v\n",
+		res.OptCost, res.SpeedupPercent, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("        ops: %s\n\n", tensor.HistogramString(res.Graph.OpHistogram()))
+
+	// TASO baseline: sequential backtracking search.
+	start = time.Now()
+	tres, err := taso.Search(g, rules.Default(), cost.NewT4(), taso.Options{
+		N: 30, Alpha: 1.05, Timeout: time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TASO:   cost %.1f us (%.1f%% speedup) in %v (%d iterations)\n",
+		tres.Cost, cost.SpeedupPercent(orig, tres.Cost),
+		time.Since(start).Round(time.Millisecond), tres.Iterations)
+	fmt.Printf("        ops: %s\n", tensor.HistogramString(tres.Graph.OpHistogram()))
+}

@@ -1,0 +1,61 @@
+package egraph
+
+// Bitset is a fixed-capacity bitset keyed by ClassID. The exploration
+// phase uses one per e-class as the descendants map of Algorithm 2;
+// extraction uses them for reachability.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns a bitset able to hold ids in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Set marks id.
+func (b *Bitset) Set(id ClassID) {
+	w := int(id) >> 6
+	if w >= len(b.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	b.words[w] |= 1 << (uint(id) & 63)
+}
+
+// Has reports whether id is marked.
+func (b *Bitset) Has(id ClassID) bool {
+	w := int(id) >> 6
+	return w < len(b.words) && b.words[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Or folds other into b (set union).
+func (b *Bitset) Or(other *Bitset) {
+	if other == nil {
+		return
+	}
+	if len(other.words) > len(b.words) {
+		grown := make([]uint64, len(other.words))
+		copy(grown, b.words)
+		b.words = grown
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Count returns the number of marked ids.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	return &Bitset{words: append([]uint64(nil), b.words...)}
+}

@@ -1,0 +1,334 @@
+// Package egraph implements e-graphs: a data structure that compactly
+// represents an equivalence relation over many terms, following egg
+// (Willsey et al. 2020). It provides hash-consed e-node insertion,
+// union with deferred congruence-closure rebuilding, and e-class
+// analyses. This is the substrate TENSAT's exploration phase runs on.
+package egraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// parentRef records that node Node (as it was when added, canonical at
+// that time) lives in class Class and references some child class.
+type parentRef struct {
+	node  Node
+	class ClassID
+}
+
+// Class is an e-class: a set of equivalent e-nodes plus analysis data.
+type Class struct {
+	ID     ClassID
+	Nodes  []Node
+	Stamps []int64 // per-node global insertion stamps, parallel to Nodes
+	Data   any     // analysis data
+
+	parents []parentRef
+}
+
+// EGraph is a mutable e-graph. The zero value is not usable; call New.
+type EGraph struct {
+	uf              unionFind
+	memo            map[string]ClassID
+	classes         map[ClassID]*Class
+	analysis        Analysis
+	pending         []ClassID // classes whose parents need congruence repair
+	analysisPending []ClassID
+
+	nodeCount int   // live e-node count (deduplicated)
+	stamp     int64 // global insertion counter
+
+	opNames []string
+}
+
+// New creates an empty e-graph. analysis may be nil.
+func New(analysis Analysis) *EGraph {
+	if analysis == nil {
+		analysis = nopAnalysis{}
+	}
+	return &EGraph{
+		memo:     make(map[string]ClassID),
+		classes:  make(map[ClassID]*Class),
+		analysis: analysis,
+	}
+}
+
+// SetOpNames registers a name table indexed by Op, used only for dumps.
+func (g *EGraph) SetOpNames(names []string) { g.opNames = names }
+
+// OpName returns the registered name for op, or "op<N>".
+func (g *EGraph) OpName(op Op) string {
+	if int(op) < len(g.opNames) {
+		return g.opNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// Find returns the canonical representative of id.
+func (g *EGraph) Find(id ClassID) ClassID { return g.uf.find(id) }
+
+// Canonicalize returns a copy of n with canonical children.
+func (g *EGraph) Canonicalize(n Node) Node {
+	c := n.clone()
+	for i, ch := range c.Children {
+		c.Children[i] = g.uf.find(ch)
+	}
+	return c
+}
+
+// Lookup reports the class containing node n, if n is present.
+func (g *EGraph) Lookup(n Node) (ClassID, bool) {
+	id, ok := g.memo[g.Canonicalize(n).key()]
+	if !ok {
+		return 0, false
+	}
+	return g.uf.find(id), true
+}
+
+// Add inserts node n (hash-consed) and returns its e-class. Adding an
+// existing node is cheap and returns the existing class.
+func (g *EGraph) Add(n Node) ClassID {
+	cn := g.Canonicalize(n)
+	key := cn.key()
+	if id, ok := g.memo[key]; ok {
+		return g.uf.find(id)
+	}
+	id := g.uf.makeSet()
+	g.stamp++
+	cls := &Class{ID: id, Nodes: []Node{cn}, Stamps: []int64{g.stamp}}
+	cls.Data = g.analysis.Make(g, cn)
+	g.classes[id] = cls
+	for _, ch := range cn.Children {
+		chc := g.classes[g.uf.find(ch)]
+		chc.parents = append(chc.parents, parentRef{node: cn, class: id})
+	}
+	g.memo[key] = id
+	g.nodeCount++
+	return id
+}
+
+// AddExpr inserts a whole expression tree bottom-up. children of each
+// Expr node must already be ClassIDs; this helper exists for tests.
+type Expr struct {
+	Node     Node
+	Children []*Expr
+}
+
+// AddExprTree recursively adds the expression and returns its root class.
+func (g *EGraph) AddExprTree(e *Expr) ClassID {
+	n := e.Node.clone()
+	n.Children = n.Children[:0]
+	for _, c := range e.Children {
+		n.Children = append(n.Children, g.AddExprTree(c))
+	}
+	return g.Add(n)
+}
+
+// Union merges the e-classes of a and b, returning the canonical id of
+// the merged class and whether anything changed. Congruence repair is
+// deferred until Rebuild.
+func (g *EGraph) Union(a, b ClassID) (ClassID, bool) {
+	ra, rb := g.uf.find(a), g.uf.find(b)
+	if ra == rb {
+		return ra, false
+	}
+	root := g.uf.union(ra, rb)
+	other := ra
+	if other == root {
+		other = rb
+	}
+	keep, lose := g.classes[root], g.classes[other]
+	keep.Nodes = append(keep.Nodes, lose.Nodes...)
+	keep.Stamps = append(keep.Stamps, lose.Stamps...)
+	keep.parents = append(keep.parents, lose.parents...)
+	merged, changed := g.analysis.Merge(keep.Data, lose.Data)
+	keep.Data = merged
+	delete(g.classes, other)
+	g.pending = append(g.pending, root)
+	if changed {
+		g.analysisPending = append(g.analysisPending, root)
+	}
+	return root, true
+}
+
+// Rebuild restores the congruence and hash-consing invariants after a
+// batch of unions, in the deferred style of egg. It must be called
+// before searching the e-graph again.
+func (g *EGraph) Rebuild() {
+	for len(g.pending) > 0 || len(g.analysisPending) > 0 {
+		todo := g.pending
+		g.pending = nil
+		seen := make(map[ClassID]bool, len(todo))
+		for _, id := range todo {
+			id = g.uf.find(id)
+			if !seen[id] {
+				seen[id] = true
+				g.repair(id)
+			}
+		}
+		atodo := g.analysisPending
+		g.analysisPending = nil
+		aseen := make(map[ClassID]bool, len(atodo))
+		for _, id := range atodo {
+			id = g.uf.find(id)
+			if !aseen[id] {
+				aseen[id] = true
+				g.repairAnalysis(id)
+			}
+		}
+	}
+	g.dedupeAll()
+}
+
+// repair re-canonicalizes the parents of a merged class, unioning any
+// parent nodes that have become congruent.
+func (g *EGraph) repair(id ClassID) {
+	cls, ok := g.classes[id]
+	if !ok {
+		return
+	}
+	parents := cls.parents
+	cls.parents = nil
+	fresh := make(map[string]parentRef, len(parents))
+	for _, p := range parents {
+		cn := g.Canonicalize(p.node)
+		key := cn.key()
+		pclass := g.uf.find(p.class)
+		if prev, ok := g.memo[key]; ok && g.uf.find(prev) != pclass {
+			merged, _ := g.Union(prev, pclass)
+			pclass = merged
+		}
+		g.memo[key] = pclass
+		if prev, dup := fresh[key]; dup {
+			if g.uf.find(prev.class) != pclass {
+				merged, _ := g.Union(prev.class, pclass)
+				pclass = merged
+			}
+		}
+		fresh[key] = parentRef{node: cn, class: pclass}
+	}
+	cls = g.classes[g.uf.find(id)]
+	for _, p := range fresh {
+		cls.parents = append(cls.parents, p)
+	}
+}
+
+// repairAnalysis propagates analysis data changes upward: every parent's
+// data is remade and merged into its class.
+func (g *EGraph) repairAnalysis(id ClassID) {
+	cls, ok := g.classes[g.uf.find(id)]
+	if !ok {
+		return
+	}
+	for _, p := range cls.parents {
+		pid := g.uf.find(p.class)
+		pcls := g.classes[pid]
+		data := g.analysis.Make(g, g.Canonicalize(p.node))
+		merged, changed := g.analysis.Merge(pcls.Data, data)
+		pcls.Data = merged
+		if changed {
+			g.analysisPending = append(g.analysisPending, pid)
+		}
+	}
+}
+
+// dedupeAll removes duplicate nodes inside every class (duplicates
+// appear when child merges make two nodes of a class congruent).
+func (g *EGraph) dedupeAll() {
+	total := 0
+	for _, cls := range g.classes {
+		seen := make(map[string]int, len(cls.Nodes))
+		out := cls.Nodes[:0]
+		stamps := cls.Stamps[:0]
+		for i, n := range cls.Nodes {
+			cn := g.Canonicalize(n)
+			key := cn.key()
+			if j, dup := seen[key]; dup {
+				// Keep the earliest stamp so "last added" queries used by
+				// cycle resolution stay stable across rebuilds.
+				if cls.Stamps[i] < stamps[j] {
+					stamps[j] = cls.Stamps[i]
+				}
+				continue
+			}
+			seen[key] = len(out)
+			out = append(out, cn)
+			stamps = append(stamps, cls.Stamps[i])
+		}
+		cls.Nodes = out
+		cls.Stamps = stamps
+		total += len(out)
+	}
+	g.nodeCount = total
+}
+
+// Class returns the e-class for id (canonicalized). It panics if the
+// id was never issued by this e-graph.
+func (g *EGraph) Class(id ClassID) *Class {
+	cls, ok := g.classes[g.uf.find(id)]
+	if !ok {
+		panic(fmt.Sprintf("egraph: unknown class %d", id))
+	}
+	return cls
+}
+
+// Classes calls f for every canonical class. Mutating the e-graph
+// during iteration is not allowed.
+func (g *EGraph) Classes(f func(*Class)) {
+	ids := make([]ClassID, 0, len(g.classes))
+	for id := range g.classes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f(g.classes[id])
+	}
+}
+
+// ClassCount returns the number of e-classes.
+func (g *EGraph) ClassCount() int { return len(g.classes) }
+
+// NodeCount returns the number of distinct e-nodes.
+func (g *EGraph) NodeCount() int { return g.nodeCount }
+
+// Stamp returns the current value of the global insertion counter.
+func (g *EGraph) Stamp() int64 { return g.stamp }
+
+// NodeString renders a node with registered op names.
+func (g *EGraph) NodeString(n Node) string {
+	var b strings.Builder
+	b.WriteString(g.OpName(n.Op))
+	if n.Int != 0 {
+		fmt.Fprintf(&b, "#%d", n.Int)
+	}
+	if n.Str != "" {
+		fmt.Fprintf(&b, "%q", n.Str)
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "e%d", g.uf.find(c))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Dump renders the whole e-graph, one class per line, for debugging.
+func (g *EGraph) Dump() string {
+	var b strings.Builder
+	g.Classes(func(cls *Class) {
+		fmt.Fprintf(&b, "e%d:", cls.ID)
+		for _, n := range cls.Nodes {
+			b.WriteString(" ")
+			b.WriteString(g.NodeString(n))
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}

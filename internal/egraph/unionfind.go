@@ -1,0 +1,48 @@
+package egraph
+
+// unionFind is a disjoint-set forest over ClassIDs with path compression
+// and union by rank. It is the canonicalization backbone of the e-graph.
+type unionFind struct {
+	parent []ClassID
+	rank   []uint8
+}
+
+// makeSet creates a fresh singleton set and returns its id.
+func (u *unionFind) makeSet() ClassID {
+	id := ClassID(len(u.parent))
+	u.parent = append(u.parent, id)
+	u.rank = append(u.rank, 0)
+	return id
+}
+
+// find returns the canonical representative of x, compressing paths.
+func (u *unionFind) find(x ClassID) ClassID {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// union merges the sets containing a and b and returns the surviving
+// root. If the two are already in the same set it returns that root.
+func (u *unionFind) union(a, b ClassID) ClassID {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return ra
+}
+
+// size reports how many ids have been allocated (not the number of sets).
+func (u *unionFind) size() int { return len(u.parent) }

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+func TestDebugBERT(t *testing.T) {
+	if os.Getenv("TENSAT_DIAG") == "" {
+		t.Skip("diagnostics")
+	}
+	c := quick()
+	c.NodeLimit = 20000
+	g := mustModel(t, "BERT", c)
+	model := cost.NewT4()
+	_, rt := c.deviceAndRuntime()
+	ex, err := c.explore(g, 1, rewrite.FilterEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored: %+v", ex.Stats)
+	gr, _ := extract.Greedy(ex, model)
+	ir, err := extract.ILP(ex, model, extract.ILPOptions{Timeout: 30 * time.Second, TopoMode: ilp.TopoReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("orig:   dev=%.1f rt=%.1f %v", cost.GraphCost(model, g), cost.GraphCost(rt, g), tensor.HistogramString(g.OpHistogram()))
+	t.Logf("greedy: dev=%.1f rt=%.1f %v", cost.GraphCost(model, gr.Graph), cost.GraphCost(rt, gr.Graph), tensor.HistogramString(gr.Graph.OpHistogram()))
+	s2 := "x"
+	_ = s2
+	t.Logf("ilp:    dev=%.1f rt=%.1f solverCost=%.1f seed=%.1f commits=%d optimal=%v %v",
+		cost.GraphCost(model, ir.Graph), cost.GraphCost(rt, ir.Graph), ir.ILP.Cost, ir.ILP.SeedCost, ir.ILP.ImproveCommits, ir.ILP.Optimal, tensor.HistogramString(ir.Graph.OpHistogram()))
+}

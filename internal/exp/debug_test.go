@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/pattern"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+func TestDebugNasRNNExtraction(t *testing.T) {
+	if os.Getenv("TENSAT_DIAG") == "" {
+		t.Skip("diagnostics; set TENSAT_DIAG=1 to run")
+	}
+	c := quick()
+	c.NodeLimit = 20000
+	g := mustModel(t, "NasRNN", c)
+	model := cost.NewT4()
+	t.Logf("orig: cost=%.1f ops=%v", cost.GraphCost(model, g), tensor.HistogramString(g.OpHistogram()))
+
+	ex, err := c.explore(g, 1, rewrite.FilterEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored: %+v", ex.Stats)
+	merged := pattern.Search(ex.G, pattern.MustParse("(split0 (split 1 (matmul ?a ?x (concat2 1 ?y ?z))))"))
+	t.Logf("merged-matmul split patterns in e-graph: %d", len(merged))
+
+	gr, err := extract.Greedy(ex, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("greedy: cost=%.1f ops=%v", gr.Cost, tensor.HistogramString(gr.Graph.OpHistogram()))
+
+	ilp.DebugHook = t.Logf
+	defer func() { ilp.DebugHook = nil }()
+	ir, err := extract.ILP(ex, model, extract.ILPOptions{Timeout: 30 * time.Second, TopoMode: ilp.TopoReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ilp: cost=%.1f seed=%.1f commits=%d optimal=%v stalled=%v ops=%v",
+		ir.Cost, ir.ILP.SeedCost, ir.ILP.ImproveCommits, ir.ILP.Optimal, ir.ILP.Stalled, tensor.HistogramString(ir.Graph.OpHistogram()))
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tensat/internal/models"
+	"tensat/internal/tensor"
+)
+
+// quick returns a configuration small enough for unit tests.
+func quick() Config {
+	c := Default()
+	c.TasoN = 8
+	c.NodeLimit = 6000
+	c.IterLimit = 6
+	c.ILPTimeout = 30 * time.Second
+	return c
+}
+
+func TestRunModelNasRNN(t *testing.T) {
+	r, err := quick().RunModel("NasRNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TensatSpeedup <= 0 {
+		t.Fatalf("TENSAT found no speedup on NasRNN: %+v", r)
+	}
+	// The paper's headline: TENSAT at least matches TASO's speedup on
+	// NasRNN while searching much faster.
+	if r.TensatSpeedup < r.TasoSpeedup-1e-9 {
+		t.Fatalf("TENSAT (%.1f%%) below TASO (%.1f%%) on NasRNN", r.TensatSpeedup, r.TasoSpeedup)
+	}
+}
+
+func TestTable4GreedyVsILPShape(t *testing.T) {
+	rows, err := quick().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// ILP never loses to greedy under the optimizer's cost model;
+		// on the measurement model a small (<1%) regression can appear
+		// from cost-model/runtime discrepancy (§6.4), no more.
+		if r.ILP > r.Greedy*1.01 {
+			t.Errorf("%s: ILP %v worse than greedy %v", r.Model, r.ILP, r.Greedy)
+		}
+		if r.ILP > r.Original*1.02 {
+			t.Errorf("%s: ILP %v worse than original %v", r.Model, r.ILP, r.Original)
+		}
+	}
+}
+
+func TestTable6EfficientNotSlower(t *testing.T) {
+	c := quick()
+	c.IterLimit = 3
+	rows, err := c.Table6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// At k_multi=1 both are fast; at larger e-graphs vanilla blows
+		// up. Just sanity-check both completed and produced timings.
+		if r.Vanilla <= 0 || r.Efficient <= 0 {
+			t.Errorf("%s: missing timings %+v", r.Model, r)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	s := FormatTable1([]Table1Row{{Model: "X", TasoTime: time.Second, TensatTime: time.Millisecond,
+		TasoSpeedup: 5, TensatSpeedup: 10}})
+	if !strings.Contains(s, "Table 1") || !strings.Contains(s, "X") {
+		t.Fatalf("bad table 1 output:\n%s", s)
+	}
+	s = FormatTable5([]Table5Row{{Model: "X", KMulti: 2, WithReal: time.Second, RealTimedOut: true}})
+	if !strings.Contains(s, ">1.000s") {
+		t.Fatalf("timeout marker missing:\n%s", s)
+	}
+	s = FormatFigure7([]Figure7Row{{Model: "X", KMulti: 3, TimedOut: true}})
+	if !strings.Contains(s, "timeout") {
+		t.Fatalf("figure 7 timeout marker missing:\n%s", s)
+	}
+}
+
+func TestJitterDeterministicBounded(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		for run := uint64(0); run < 5; run++ {
+			a, b := jitter(seed, run), jitter(seed, run)
+			if a != b {
+				t.Fatal("jitter nondeterministic")
+			}
+			if a < -1 || a > 1 {
+				t.Fatalf("jitter out of range: %v", a)
+			}
+		}
+	}
+}
+
+func TestMeasureRuntimeStats(t *testing.T) {
+	c := quick()
+	g := mustModel(t, "VGG-19", c)
+	_, rt := c.deviceAndRuntime()
+	mean, stderr := c.measureRuntime(rt, g, 0)
+	if mean <= 0 {
+		t.Fatalf("mean %v", mean)
+	}
+	if stderr < 0 || stderr > mean*0.02 {
+		t.Fatalf("stderr %v implausible for mean %v", stderr, mean)
+	}
+}
+
+func mustModel(t *testing.T, name string, c Config) *tensor.Graph {
+	t.Helper()
+	m, err := models.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Build(c.Scale)
+}

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/rewrite"
+)
+
+func TestILPScaling(t *testing.T) {
+	if os.Getenv("TENSAT_DIAG") == "" {
+		t.Skip("diagnostics; set TENSAT_DIAG=1 to run")
+	}
+	c := quick()
+	g := mustModel(t, "NasRNN", c)
+	for _, limit := range []int{500, 1000, 2000, 4000} {
+		c.NodeLimit = limit
+		ex, err := c.explore(g, 1, rewrite.FilterEfficient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := extract.ILP(ex, cost.NewT4(), extract.ILPOptions{Timeout: 20 * time.Second, TopoMode: ilp.TopoReal})
+		if err != nil {
+			t.Logf("limit=%d enodes=%d classes=%d: ERR %v after %v", limit, ex.Stats.ENodes, ex.Stats.EClasses, err, time.Since(start))
+			continue
+		}
+		t.Logf("limit=%d enodes=%d classes=%d: cost=%.1f explored=%d optimal=%v in %v",
+			limit, ex.Stats.ENodes, ex.Stats.EClasses, res.Cost, res.ILP.Explored, res.ILP.Optimal, res.ILP.Time)
+	}
+}

@@ -1,0 +1,18 @@
+package exp
+
+import "testing"
+
+func TestInceptionK2Extraction(t *testing.T) {
+	c := benchLikeConfig()
+	if _, err := c.inceptionK2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchLikeConfig() Config {
+	c := Default()
+	c.NodeLimit = 10000
+	c.IterLimit = 10
+	c.TasoN = 15
+	return c
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"tensat"
+	"tensat/internal/cost"
+	"tensat/internal/egraph"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+func TestProbeInfeasible(t *testing.T) {
+	if os.Getenv("TENSAT_DIAG") == "" {
+		t.Skip("diagnostics")
+	}
+	g0 := mustModel(t, "SqueezeNet", Default())
+	res, err := tensat.Optimize(g0, tensat.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Graph.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tensor.UnmarshalGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.NodeLimit = 3000
+	ex, err := c.explore(g, 1, rewrite.FilterEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.NewT4()
+	empty := 0
+	ex.G.Classes(func(cls *egraph.Class) {
+		ok := false
+		for i, n := range cls.Nodes {
+			if ex.Filtered.Has(cls.Stamps[i]) {
+				continue
+			}
+			args := make([]*tensor.Meta, len(n.Children))
+			bad := false
+			for k, ch := range n.Children {
+				args[k] = rewrite.ClassMeta(ex.G, ch)
+				if args[k] == nil {
+					bad = true
+				}
+			}
+			if bad {
+				continue
+			}
+			if !math.IsInf(model.NodeCost(tensor.Op(n.Op), n.Int, n.Str, args), 1) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			empty++
+			if empty <= 5 {
+				for i, n := range cls.Nodes {
+					t.Logf("class e%d node %d: %s filtered=%v", cls.ID, i, ex.G.NodeString(n), ex.Filtered.Has(cls.Stamps[i]))
+				}
+			}
+		}
+	})
+	t.Logf("classes with no finite node: %d of %d", empty, ex.G.ClassCount())
+}

@@ -1,0 +1,24 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tensat"
+)
+
+func TestProfileNasRNN50k(t *testing.T) {
+	if os.Getenv("TENSAT_DIAG") == "" {
+		t.Skip("diagnostics")
+	}
+	g := mustModel(t, "NasRNN", Default())
+	opt := tensat.DefaultOptions()
+	opt.ILPTimeout = 5 * time.Minute
+	res, err := tensat.Optimize(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explore=%v extract=%v enodes=%d classes=%d cost=%.1f",
+		res.ExploreTime, res.ExtractTime, res.ENodes, res.EClasses, res.OptCost)
+}

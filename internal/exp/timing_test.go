@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tensat"
+	"tensat/internal/cost"
+	"tensat/internal/rules"
+	"tensat/internal/taso"
+)
+
+func TestTimingBreakdown(t *testing.T) {
+	if os.Getenv("TENSAT_DIAG") == "" {
+		t.Skip("diagnostics; set TENSAT_DIAG=1 to run")
+	}
+	c := quick()
+	g := mustModel(t, "NasRNN", c)
+
+	t0 := time.Now()
+	res, err := tensat.Optimize(g, c.tensatOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tensat: total=%v explore=%v extract=%v enodes=%d",
+		time.Since(t0), res.ExploreTime, res.ExtractTime, res.ENodes)
+
+	t1 := time.Now()
+	tres, err := taso.Search(g, rules.Default(), cost.NewT4(), taso.Options{
+		N: c.TasoN, Alpha: c.TasoAlpha, Timeout: time.Hour, MaxMatchesPerRule: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("taso: total=%v iters=%d candidates=%d", time.Since(t1), tres.Iterations, tres.Candidates)
+}

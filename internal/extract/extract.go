@@ -1,0 +1,346 @@
+// Package extract implements TENSAT's extraction phase (§5): choosing
+// one e-node per (needed) e-class so the induced graph is a valid,
+// minimum-cost tensor DAG. It provides the greedy strategy and the ILP
+// formulation (with or without cycle constraints), and reconstructs a
+// tensor.Graph from the selection.
+package extract
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/egraph"
+	"tensat/internal/ilp"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+// Result is an extracted graph and how it was obtained.
+type Result struct {
+	Graph *tensor.Graph
+	// Cost is the extracted graph's cost under the extraction model
+	// (sum over distinct nodes — sharing counted once).
+	Cost float64
+	// Time is the wall-clock extraction time.
+	Time time.Duration
+	// ILP carries solver details for ILP extraction (nil for greedy).
+	ILP *ilp.Solution
+}
+
+// nodeCost prices one e-node using the analysis metas of its children.
+func nodeCost(g *egraph.EGraph, m cost.Model, n egraph.Node) float64 {
+	args := make([]*tensor.Meta, len(n.Children))
+	for i, c := range n.Children {
+		args[i] = rewrite.ClassMeta(g, c)
+		if args[i] == nil {
+			return math.Inf(1)
+		}
+	}
+	return m.NodeCost(tensor.Op(n.Op), n.Int, n.Str, args)
+}
+
+// Greedy performs the greedy extraction of §5.1: per class, pick the
+// e-node minimizing the cost of the subtree rooted at it. As the paper
+// notes, this ignores subgraph sharing and can miss (or mis-rank)
+// graphs whose benefit comes from reuse — see Table 4.
+func Greedy(ex *rewrite.Explored, model cost.Model) (*Result, error) {
+	start := time.Now()
+	g := ex.G
+	picks := greedySelect(ex, model)
+
+	root := g.Find(ex.Root)
+	if picks[root] < 0 {
+		return nil, fmt.Errorf("extract: greedy found no finite-cost derivation for the root")
+	}
+	sel := func(id egraph.ClassID) (egraph.Node, bool) {
+		cls := g.Class(id)
+		k := picks[cls.ID]
+		if k < 0 {
+			return egraph.Node{}, false
+		}
+		return cls.Nodes[k], true
+	}
+	graph, err := buildGraph(g, root, sel)
+	if err != nil {
+		return nil, fmt.Errorf("extract: greedy: %w", err)
+	}
+	return &Result{
+		Graph: graph,
+		Cost:  cost.GraphCost(model, graph),
+		Time:  time.Since(start),
+	}, nil
+}
+
+// greedySelect runs the greedy tree-cost fixpoint (§5.1) and returns,
+// per canonical class, the index of the chosen node within
+// Class.Nodes (-1 when the class has no finite derivation). Shared by
+// Greedy and by ILP's warm start.
+func greedySelect(ex *rewrite.Explored, model cost.Model) map[egraph.ClassID]int {
+	g := ex.G
+	picks := make(map[egraph.ClassID]int)
+	classCost := make(map[egraph.ClassID]float64)
+	var classes []*egraph.Class
+	g.Classes(func(c *egraph.Class) {
+		classes = append(classes, c)
+		classCost[c.ID] = math.Inf(1)
+		picks[c.ID] = -1
+	})
+
+	// Fixpoint over tree costs (Bellman-style; terminates because costs
+	// only decrease and every finite value stems from an acyclic
+	// derivation, of which there are finitely many).
+	for changed := true; changed; {
+		changed = false
+		for _, cls := range classes {
+			for i, n := range cls.Nodes {
+				if ex.Filtered.Has(cls.Stamps[i]) {
+					continue
+				}
+				t := nodeCost(g, model, n)
+				for _, ch := range n.Children {
+					t += classCost[g.Find(ch)]
+				}
+				if t < classCost[cls.ID] {
+					classCost[cls.ID] = t
+					picks[cls.ID] = i
+					changed = true
+				}
+			}
+		}
+	}
+	return picks
+}
+
+// originalSelect recovers the input graph as a selection: per class,
+// the earliest-inserted node if it predates exploration (ingest-time
+// stamps are preserved minimally through rebuild deduplication).
+// Returns nil when the Explored carries no ingest stamp.
+func originalSelect(ex *rewrite.Explored) map[egraph.ClassID]int {
+	if ex.IngestStamp == 0 {
+		return nil
+	}
+	picks := make(map[egraph.ClassID]int)
+	ex.G.Classes(func(cls *egraph.Class) {
+		best, idx := int64(1<<62), -1
+		for i, st := range cls.Stamps {
+			if st <= ex.IngestStamp && st < best && !ex.Filtered.Has(st) {
+				best, idx = st, i
+			}
+		}
+		picks[cls.ID] = idx
+	})
+	return picks
+}
+
+// ILPOptions configure ILP extraction.
+type ILPOptions struct {
+	// CycleConstraints includes the topological-order constraints of
+	// §5.1 — required when the e-graph was explored with FilterNone.
+	CycleConstraints bool
+	// TopoMode selects real vs integer topological variables (Table 5).
+	TopoMode ilp.TopoMode
+	// Timeout bounds the solver (paper: 1 hour).
+	Timeout time.Duration
+	// StallLimit stops branch-and-bound after this many expansions
+	// without improvement (0 uses DefaultStallLimit; negative disables).
+	StallLimit int64
+}
+
+// DefaultStallLimit is the default incumbent-stall cutoff. It plays
+// the role of a MIP gap tolerance: on heavily merged e-graphs the
+// branch-and-bound's combinatorial bound cannot close the gap the way
+// SCIP's LP relaxation does, so extraction returns the best incumbent
+// after this many fruitless expansions.
+const DefaultStallLimit = 2_000_000
+
+// ILP performs ILP extraction. When the exploration used cycle
+// filtering the cycle constraints can be dropped, which is the paper's
+// key scalability lever (Table 5); filtered nodes become x_i = 0.
+func ILP(ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, error) {
+	start := time.Now()
+	g := ex.G
+
+	if !opts.CycleConstraints && !rewrite.IsAcyclic(g, ex.Filtered) {
+		return nil, fmt.Errorf("extract: e-graph has cycles; ILP without cycle constraints requires cycle filtering")
+	}
+
+	// Index classes and nodes.
+	classIdx := make(map[egraph.ClassID]int)
+	var classIDs []egraph.ClassID
+	g.Classes(func(c *egraph.Class) {
+		classIdx[c.ID] = len(classIDs)
+		classIDs = append(classIDs, c.ID)
+	})
+	stall := opts.StallLimit
+	if stall == 0 {
+		stall = DefaultStallLimit
+	} else if stall < 0 {
+		stall = 0
+	}
+	p := &ilp.Problem{
+		Root:             classIdx[g.Find(ex.Root)],
+		Classes:          make([][]int, len(classIDs)),
+		CycleConstraints: opts.CycleConstraints,
+		TopoMode:         opts.TopoMode,
+		Timeout:          opts.Timeout,
+		StallLimit:       stall,
+	}
+	type ref struct {
+		class egraph.ClassID
+		node  egraph.Node
+	}
+	var refs []ref
+	for ci, id := range classIDs {
+		cls := g.Class(id)
+		for i, n := range cls.Nodes {
+			vi := len(refs)
+			refs = append(refs, ref{class: id, node: n})
+			p.Costs = append(p.Costs, nodeCost(g, model, n))
+			p.ClassOf = append(p.ClassOf, ci)
+			children := make([]int, len(n.Children))
+			for k, ch := range n.Children {
+				children[k] = classIdx[g.Find(ch)]
+			}
+			p.Children = append(p.Children, children)
+			p.Classes[ci] = append(p.Classes[ci], vi)
+			if ex.Filtered.Has(cls.Stamps[i]) {
+				if p.Forbidden == nil {
+					p.Forbidden = make([]bool, 0, 64)
+				}
+				for len(p.Forbidden) < vi {
+					p.Forbidden = append(p.Forbidden, false)
+				}
+				p.Forbidden = append(p.Forbidden, true)
+			}
+		}
+	}
+	if p.Forbidden != nil {
+		for len(p.Forbidden) < len(p.Costs) {
+			p.Forbidden = append(p.Forbidden, false)
+		}
+	}
+
+	// Warm-start with (a) the greedy extraction and (b) the original
+	// input graph (nodes whose insertion stamps predate exploration),
+	// so the ILP result is never worse than either, however early the
+	// search is cut off.
+	offset := make([]int, len(classIDs))
+	vi := 0
+	for ci, id := range classIDs {
+		offset[ci] = vi
+		vi += len(g.Class(id).Nodes)
+	}
+	toWarm := func(picks map[egraph.ClassID]int) []int {
+		ws := make([]int, len(classIDs))
+		for ci, id := range classIDs {
+			k := picks[id]
+			if k < 0 {
+				ws[ci] = -1
+				continue
+			}
+			ws[ci] = offset[ci] + k
+		}
+		return ws
+	}
+	p.WarmStarts = append(p.WarmStarts, toWarm(greedySelect(ex, model)))
+	if orig := originalSelect(ex); orig != nil {
+		p.WarmStarts = append(p.WarmStarts, toWarm(orig))
+	}
+
+	sol, err := ilp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("extract: ilp: %w", err)
+	}
+	sel := func(id egraph.ClassID) (egraph.Node, bool) {
+		vi, ok := sol.NodeOf[classIdx[g.Find(id)]]
+		if !ok {
+			return egraph.Node{}, false
+		}
+		return refs[vi].node, true
+	}
+	graph, err := buildGraph(g, g.Find(ex.Root), sel)
+	if err != nil {
+		return nil, fmt.Errorf("extract: ilp: %w", err)
+	}
+	return &Result{
+		Graph: graph,
+		Cost:  cost.GraphCost(model, graph),
+		Time:  time.Since(start),
+		ILP:   sol,
+	}, nil
+}
+
+// buildGraph materializes the selection into a tensor.Graph, verifying
+// acyclicity of the chosen derivation as it goes.
+func buildGraph(g *egraph.EGraph, root egraph.ClassID,
+	sel func(egraph.ClassID) (egraph.Node, bool)) (*tensor.Graph, error) {
+
+	built := make(map[egraph.ClassID]*tensor.Node)
+	onPath := make(map[egraph.ClassID]bool)
+	var build func(id egraph.ClassID) (*tensor.Node, error)
+	build = func(id egraph.ClassID) (*tensor.Node, error) {
+		id = g.Find(id)
+		if n, ok := built[id]; ok {
+			return n, nil
+		}
+		if onPath[id] {
+			return nil, fmt.Errorf("selection contains a cycle through class %d", id)
+		}
+		onPath[id] = true
+		defer delete(onPath, id)
+		en, ok := sel(id)
+		if !ok {
+			return nil, fmt.Errorf("no node selected for class %d", id)
+		}
+		tn := &tensor.Node{Op: tensor.Op(en.Op), Int: en.Int, Str: en.Str}
+		args := make([]*tensor.Meta, len(en.Children))
+		for i, ch := range en.Children {
+			child, err := build(ch)
+			if err != nil {
+				return nil, err
+			}
+			tn.Inputs = append(tn.Inputs, child)
+			args[i] = child.Meta
+			// split reads its boundary from the e-class analysis (§3.1),
+			// not from whichever member node extraction picked: a class
+			// can mix marker-carrying and marker-less derivations of the
+			// same tensor, so graft the class marker onto the child meta.
+			if cm := rewrite.ClassMeta(g, ch); cm != nil && cm.HasSplit && args[i] != nil && !args[i].HasSplit {
+				grafted := args[i].Clone()
+				grafted.HasSplit, grafted.SplitAxis, grafted.SplitAt = true, cm.SplitAxis, cm.SplitAt
+				args[i] = grafted
+				child.Meta = grafted
+			}
+		}
+		meta, err := tensor.Infer(tn.Op, tn.Int, tn.Str, args)
+		if err != nil {
+			return nil, fmt.Errorf("extracted node %v fails shape inference: %w", tn.Op, err)
+		}
+		tn.Meta = meta
+		built[id] = tn
+		return tn, nil
+	}
+	rootNode, err := build(root)
+	if err != nil {
+		return nil, err
+	}
+	graph := &tensor.Graph{Root: rootNode, Outputs: collectOutputs(rootNode)}
+	if err := graph.Validate(); err != nil {
+		return nil, err
+	}
+	return graph, nil
+}
+
+// collectOutputs unwinds the noop chain that made the graph
+// single-rooted, recovering the real output nodes.
+func collectOutputs(root *tensor.Node) []*tensor.Node {
+	if root.Op != tensor.OpNoop {
+		return []*tensor.Node{root}
+	}
+	var outs []*tensor.Node
+	outs = append(outs, collectOutputs(root.Inputs[0])...)
+	outs = append(outs, collectOutputs(root.Inputs[1])...)
+	return outs
+}

@@ -1,0 +1,172 @@
+package extract
+
+import (
+	"testing"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/ilp"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+// figure2Setup builds the two-matmuls-shared-input graph and the
+// Figure 2 multi-pattern rule, explores, and returns everything needed
+// for extraction tests. Sizes chosen so the merged matmul is cheaper
+// than two separate ones but dearer than one (the Table 4 regime where
+// greedy fails and ILP wins).
+func figure2Setup(t *testing.T, filter rewrite.FilterMode) (*rewrite.Explored, *tensor.Graph, cost.Model) {
+	t.Helper()
+	b := tensor.NewBuilder()
+	x := b.Input("x", 64, 256)
+	w1 := b.Weight("w1", 256, 256)
+	w2 := b.Weight("w2", 256, 256)
+	g := b.MustFinish(b.Matmul(tensor.ActNone, x, w1), b.Matmul(tensor.ActNone, x, w2))
+	rule, err := rewrite.NewMultiRule("matmul-merge",
+		"(matmul ?a ?x ?y) (matmul ?a ?x ?z)",
+		"(split0 (split 1 (matmul ?a ?x (concat2 1 ?y ?z)))) (split1 (split 1 (matmul ?a ?x (concat2 1 ?y ?z))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rewrite.NewRunner([]*rewrite.Rule{rule})
+	r.Filter = filter
+	r.Limits.KMulti = 1
+	r.Limits.MaxIters = 2
+	ex, err := r.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, g, cost.NewT4()
+}
+
+func TestGreedyExtractsOriginalWhenNoSharingAwareness(t *testing.T) {
+	ex, g, model := figure2Setup(t, rewrite.FilterEfficient)
+	res, err := Greedy(ex, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cost.GraphCost(model, g)
+	// Greedy never picks the split nodes (paper §6.5): its result costs
+	// the same as the original graph.
+	if res.Cost < orig-1e-6 {
+		t.Fatalf("greedy cost %v below original %v — unexpectedly exploited sharing", res.Cost, orig)
+	}
+	if h := res.Graph.OpHistogram(); h[tensor.OpSplit0] != 0 {
+		t.Fatalf("greedy picked split nodes: %v", tensor.HistogramString(h))
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestILPExploitsSharing(t *testing.T) {
+	ex, g, model := figure2Setup(t, rewrite.FilterEfficient)
+	res, err := ILP(ex, model, ILPOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cost.GraphCost(model, g)
+	if res.Cost >= orig {
+		t.Fatalf("ILP cost %v did not improve on original %v", res.Cost, orig)
+	}
+	h := res.Graph.OpHistogram()
+	if h[tensor.OpSplit0] != 1 || h[tensor.OpSplit1] != 1 || h[tensor.OpMatmul] != 1 {
+		t.Fatalf("ILP graph shape unexpected: %v", tensor.HistogramString(h))
+	}
+	if !res.ILP.Optimal {
+		t.Fatal("solver did not prove optimality")
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ILP beats greedy (Table 4's point).
+	gres, err := Greedy(ex, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= gres.Cost {
+		t.Fatalf("ILP %v not better than greedy %v", res.Cost, gres.Cost)
+	}
+}
+
+func TestILPWithCycleConstraintsOnUnfilteredEGraph(t *testing.T) {
+	ex, g, model := figure2Setup(t, rewrite.FilterNone)
+	// Without cycle filtering, cycle-free extraction must be requested
+	// via the constrained formulation.
+	if _, err := ILP(ex, model, ILPOptions{}); err == nil && !rewrite.IsAcyclic(ex.G, ex.Filtered) {
+		t.Fatal("unconstrained ILP accepted a cyclic e-graph")
+	}
+	for _, mode := range []ilp.TopoMode{ilp.TopoReal, ilp.TopoInt} {
+		res, err := ILP(ex, model, ILPOptions{CycleConstraints: true, TopoMode: mode, Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("%v: extracted graph invalid: %v", mode, err)
+		}
+		orig := cost.GraphCost(model, g)
+		if res.Cost >= orig {
+			t.Fatalf("%v: constrained ILP cost %v did not improve on %v", mode, res.Cost, orig)
+		}
+	}
+}
+
+func TestCycleFilteredAndConstrainedAgree(t *testing.T) {
+	// The two routes to acyclic extraction must find the same optimum.
+	exF, _, model := figure2Setup(t, rewrite.FilterEfficient)
+	exN, _, _ := figure2Setup(t, rewrite.FilterNone)
+	a, err := ILP(exF, model, ILPOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ILP(exN, model, ILPOptions{CycleConstraints: true, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.Cost - b.Cost; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("optima differ: filtered=%v constrained=%v", a.Cost, b.Cost)
+	}
+}
+
+func TestExtractionOnTrivialGraph(t *testing.T) {
+	b := tensor.NewBuilder()
+	x := b.Input("x", 8, 8)
+	g := b.MustFinish(b.Relu(x))
+	r := rewrite.NewRunner(nil)
+	ex, err := r.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.NewT4()
+	gr, err := Greedy(ex, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := ILP(ex, model, ILPOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cost.GraphCost(model, g)
+	if gr.Cost != orig || ir.Cost != orig {
+		t.Fatalf("trivial extraction changed cost: greedy=%v ilp=%v orig=%v", gr.Cost, ir.Cost, orig)
+	}
+	if gr.Graph.Hash() != g.Hash() || ir.Graph.Hash() != g.Hash() {
+		t.Fatal("trivial extraction changed the graph")
+	}
+}
+
+func TestExtractedGraphPreservesOutputs(t *testing.T) {
+	ex, g, model := figure2Setup(t, rewrite.FilterEfficient)
+	res, err := ILP(ex, model, ILPOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph.Outputs) != len(g.Outputs) {
+		t.Fatalf("output count changed: %d -> %d", len(g.Outputs), len(res.Graph.Outputs))
+	}
+	for i, out := range res.Graph.Outputs {
+		if !out.Meta.Shape.Equal(g.Outputs[i].Meta.Shape) {
+			t.Fatalf("output %d shape changed: %v -> %v", i, g.Outputs[i].Meta.Shape, out.Meta.Shape)
+		}
+	}
+}

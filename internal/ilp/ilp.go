@@ -1,0 +1,676 @@
+// Package ilp solves the 0-1 integer linear program of TENSAT's
+// extraction phase (§5.1). The paper uses SCIP behind Google OR-tools;
+// neither exists in Go's standard-library ecosystem, so this package
+// implements an exact branch-and-bound solver specialized to the
+// extraction program's constraint shapes:
+//
+//	minimize    sum_i c_i x_i
+//	subject to  x_i in {0,1}
+//	            sum_{i in e_0} x_i = 1                    (root class)
+//	            x_i <= sum_{j in e_m} x_j   for m in h_i  (children)
+//	            x_i = 0                     for filtered i
+//	            optional topological-order constraints
+//	            t_{g(i)} - t_m - eps + A(1 - x_i) >= 0    (acyclicity)
+//
+// Branch-and-bound explores "which e-node is picked for each required
+// e-class", with an admissible lower bound (each required-but-
+// undecided class contributes at least its cheapest allowed node).
+// With CycleConstraints enabled the solver additionally maintains the
+// acyclicity of the chosen selection — via incremental DFS when
+// TopoReal (the continuous t_m encoding) or explicit integer level
+// labels when TopoInt — which is exactly what makes the constrained
+// program much slower to solve, reproducing Table 5.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// TopoMode selects how the acyclicity constraints are enforced,
+// mirroring the paper's real-valued vs integer-valued t_m variables.
+type TopoMode int
+
+const (
+	// TopoReal models the continuous topological-order variables:
+	// feasibility of an assignment is decided by cycle detection.
+	TopoReal TopoMode = iota
+	// TopoInt models integer topological levels in [0, M-1], maintained
+	// explicitly by longest-path relaxation.
+	TopoInt
+)
+
+// String names the mode.
+func (m TopoMode) String() string {
+	if m == TopoInt {
+		return "int"
+	}
+	return "real"
+}
+
+// Problem is an extraction ILP instance. Nodes are indexed 0..N-1 and
+// classes 0..M-1.
+type Problem struct {
+	Costs     []float64 // c_i, one per node
+	ClassOf   []int     // g(i): owning class of node i
+	Children  [][]int   // h_i: children classes of node i
+	Classes   [][]int   // e_m: members of class m
+	Root      int       // root class index
+	Forbidden []bool    // x_i = 0 (cycle filter list); nil means none
+
+	// CycleConstraints includes the topological-order constraints; the
+	// caller must set this when the e-graph may contain cycles.
+	CycleConstraints bool
+	TopoMode         TopoMode
+	Timeout          time.Duration
+	// StallLimit stops the search after this many node expansions
+	// without an incumbent improvement and returns the incumbent
+	// (Optimal=false, Stalled=true) — the practical analogue of a MIP
+	// gap tolerance. Zero means no stall limit. Exhaustive search on
+	// heavily merged e-graphs needs LP-strength bounds (what SCIP has
+	// and this branch-and-bound does not); see DESIGN.md.
+	StallLimit int64
+	// WarmStarts provides initial selections (node per class, -1 for
+	// unselected classes). Each valid one (complete and acyclic from
+	// the root) is refined by the local-search improver; the best
+	// becomes the starting incumbent, so the solution is never worse
+	// than any warm start.
+	WarmStarts [][]int
+}
+
+// Solution is the solver's answer.
+type Solution struct {
+	// NodeOf maps each selected class to its chosen node; classes not
+	// needed by the root derivation are absent.
+	NodeOf map[int]int
+	Cost   float64
+	// Optimal is true when the search space was exhausted; false on
+	// timeout or stall, in which case the incumbent (if any) is returned.
+	Optimal  bool
+	TimedOut bool
+	// Stalled is true when StallLimit ended the search.
+	Stalled bool
+	// Explored counts branch-and-bound node expansions.
+	Explored int64
+	Time     time.Duration
+	// SeedCost is the greedy warm-start cost; ImproveCommits counts
+	// hub moves the sharing-aware local search applied before
+	// branch-and-bound (diagnostics).
+	SeedCost       float64
+	ImproveCommits int
+}
+
+// ErrInfeasible is returned when no acyclic selection exists.
+var ErrInfeasible = errors.New("ilp: infeasible extraction problem")
+
+// ErrTimeout is returned when the deadline passed before any feasible
+// solution was found.
+var ErrTimeout = errors.New("ilp: timeout before first feasible solution")
+
+// Validate checks index consistency.
+func (p *Problem) Validate() error {
+	n, m := len(p.Costs), len(p.Classes)
+	if len(p.ClassOf) != n || len(p.Children) != n {
+		return fmt.Errorf("ilp: inconsistent node arrays")
+	}
+	if p.Root < 0 || p.Root >= m {
+		return fmt.Errorf("ilp: root class %d out of range", p.Root)
+	}
+	for i, c := range p.ClassOf {
+		if c < 0 || c >= m {
+			return fmt.Errorf("ilp: node %d in bad class %d", i, c)
+		}
+	}
+	for i, hs := range p.Children {
+		for _, h := range hs {
+			if h < 0 || h >= m {
+				return fmt.Errorf("ilp: node %d has bad child class %d", i, h)
+			}
+		}
+	}
+	return nil
+}
+
+type solver struct {
+	p           *Problem
+	deadline    time.Time
+	hasDeadline bool
+
+	allowed  [][]int   // per class: allowed (unforbidden) nodes, cheap first
+	minCost  []float64 // per class: cheapest allowed node cost
+	greedy   []float64 // per class: tree-cost heuristic for branch ordering
+	freePick []int     // per class: node with a zero-cost acyclic derivation, or -1
+
+	chosen         []int // per class: chosen node or -1
+	need           []int // per class: how many chosen nodes require it
+	acc            float64
+	best           float64
+	bestPick       []int
+	explored       int64
+	lastImprove    int64
+	timedOut       bool
+	stalled        bool
+	improveCommits int
+
+	// levels for TopoInt acyclicity maintenance
+	level []int
+
+	// sc holds the local search's epoch-stamped scratch buffers.
+	sc *improveScratch
+}
+
+// Solve runs branch-and-bound and returns the best selection.
+func Solve(p *Problem) (*Solution, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &solver{p: p}
+	if p.Timeout > 0 {
+		s.deadline = start.Add(p.Timeout)
+		s.hasDeadline = true
+	}
+	m := len(p.Classes)
+	s.allowed = make([][]int, m)
+	s.minCost = make([]float64, m)
+	for c, members := range p.Classes {
+		for _, i := range members {
+			if p.Forbidden != nil && p.Forbidden[i] {
+				continue
+			}
+			// Infinite-cost nodes (ill-typed under the cost model) can
+			// never appear in a finite solution; admitting them would
+			// also poison the bound arithmetic (Inf - Inf = NaN).
+			if math.IsInf(p.Costs[i], 1) {
+				continue
+			}
+			s.allowed[c] = append(s.allowed[c], i)
+		}
+		sort.Slice(s.allowed[c], func(a, b int) bool {
+			return p.Costs[s.allowed[c][a]] < p.Costs[s.allowed[c][b]]
+		})
+		s.minCost[c] = math.Inf(1)
+		if len(s.allowed[c]) > 0 {
+			s.minCost[c] = p.Costs[s.allowed[c][0]]
+		}
+	}
+	s.pruneDominated()
+	s.computeFree()
+	s.computeGreedy()
+	s.chosen = make([]int, m)
+	for i := range s.chosen {
+		s.chosen[i] = -1
+	}
+	s.need = make([]int, m)
+	s.best = math.Inf(1)
+	if p.CycleConstraints && p.TopoMode == TopoInt {
+		s.level = make([]int, m)
+	}
+	// Seed with the internal greedy plus any caller warm starts; refine
+	// each with the sharing-aware local search and keep the best.
+	s.seedIncumbent()
+	starts := [][]int{}
+	if s.bestPick != nil {
+		starts = append(starts, s.bestPick)
+	}
+	for _, ws := range p.WarmStarts {
+		if len(ws) == m {
+			starts = append(starts, append([]int(nil), ws...))
+		}
+	}
+	seedCost := math.Inf(1)
+	s.best, s.bestPick = math.Inf(1), nil
+	for _, st := range starts {
+		cost, ok := s.selectionCost(st)
+		if !ok {
+			continue
+		}
+		if cost < seedCost {
+			seedCost = cost
+		}
+		imp, impCost := s.improveFrom(st)
+		if impCost < s.best {
+			s.best, s.bestPick = impCost, imp
+		}
+	}
+
+	s.need[p.Root] = 1
+	s.branch([]int{p.Root}, s.minCost[p.Root])
+
+	sol := &Solution{
+		Optimal:        !s.timedOut && !s.stalled,
+		TimedOut:       s.timedOut,
+		Stalled:        s.stalled,
+		Explored:       s.explored,
+		Time:           time.Since(start),
+		SeedCost:       seedCost,
+		ImproveCommits: s.improveCommits,
+	}
+	if s.bestPick == nil {
+		if s.timedOut || s.stalled {
+			return nil, ErrTimeout
+		}
+		return nil, ErrInfeasible
+	}
+	sol.Cost = s.best
+	sol.NodeOf = make(map[int]int)
+	for c, n := range s.bestPick {
+		if n >= 0 {
+			sol.NodeOf[c] = n
+		}
+	}
+	return sol, nil
+}
+
+// pruneDominated removes, within each class, any node that is
+// dominated by a cheaper (or equal-cost) node whose children classes
+// are a subset of its own: picking the dominated node can always be
+// replaced by the dominating one without increasing cost or adding
+// requirements. This preserves at least one optimal solution. Cycle
+// constraints do not change that: the dominating node's edges are a
+// subset, so it can never introduce a cycle the dominated one avoids.
+func (s *solver) pruneDominated() {
+	for c, members := range s.allowed {
+		if len(members) < 2 {
+			continue
+		}
+		childSet := make([]map[int]bool, len(members))
+		for k, i := range members {
+			set := make(map[int]bool, len(s.p.Children[i]))
+			for _, h := range s.p.Children[i] {
+				set[h] = true
+			}
+			childSet[k] = set
+		}
+		keep := members[:0]
+		for k, i := range members {
+			dominated := false
+			for k2, j := range members {
+				if k == k2 || s.p.Costs[j] > s.p.Costs[i] {
+					continue
+				}
+				if s.p.Costs[j] == s.p.Costs[i] && k2 > k {
+					continue // tie-break by position to avoid mutual elimination
+				}
+				subset := true
+				for h := range childSet[k2] {
+					if !childSet[k][h] {
+						subset = false
+						break
+					}
+				}
+				if subset {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				keep = append(keep, i)
+			}
+		}
+		s.allowed[c] = keep
+	}
+}
+
+// seedIncumbent installs the greedy extraction as the initial
+// incumbent, guaranteeing the ILP result is never worse than greedy
+// even when the search stalls or times out, and sharpening pruning
+// from the first branch.
+func (s *solver) seedIncumbent() {
+	pick := make([]int, len(s.p.Classes))
+	for c := range pick {
+		pick[c] = -1
+		best := math.Inf(1)
+		for _, i := range s.allowed[c] {
+			t := s.p.Costs[i]
+			for _, h := range s.p.Children[i] {
+				t += s.greedy[h]
+			}
+			if t < best {
+				best = t
+				pick[c] = i
+			}
+		}
+	}
+	// Collect the root closure and its DAG cost, rejecting cycles.
+	state := make(map[int]uint8)
+	total := 0.0
+	ok := true
+	var visit func(c int)
+	visit = func(c int) {
+		if !ok || state[c] == 2 {
+			return
+		}
+		if state[c] == 1 {
+			ok = false // cyclic greedy selection: no warm start
+			return
+		}
+		state[c] = 1
+		i := pick[c]
+		if i < 0 || math.IsInf(s.p.Costs[i], 1) {
+			ok = false
+			return
+		}
+		total += s.p.Costs[i]
+		for _, h := range s.p.Children[i] {
+			visit(h)
+		}
+		state[c] = 2
+	}
+	visit(s.p.Root)
+	if !ok {
+		return
+	}
+	s.best = total
+	s.bestPick = make([]int, len(pick))
+	for c := range pick {
+		if state[c] == 2 {
+			s.bestPick[c] = pick[c]
+		} else {
+			s.bestPick[c] = -1
+		}
+	}
+}
+
+// computeFree finds, per class, a node with an entirely zero-cost
+// derivation (weight-foldable expressions, literals, views). Choosing
+// it dominates every alternative — it adds zero cost and only
+// zero-cost requirements — so such classes are never branched on.
+// This collapses the exponential plateau of interchangeable foldable
+// weight expressions that otherwise drowns the search. The fixpoint
+// witness order guarantees the recorded derivation is well-founded
+// (acyclic), so the rule is also safe under cycle constraints.
+func (s *solver) computeFree() {
+	m := len(s.p.Classes)
+	s.freePick = make([]int, m)
+	for c := range s.freePick {
+		s.freePick[c] = -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for c := 0; c < m; c++ {
+			if s.freePick[c] >= 0 {
+				continue
+			}
+			for _, i := range s.allowed[c] {
+				if s.p.Costs[i] > boundAdjust {
+					continue
+				}
+				ok := true
+				for _, h := range s.p.Children[i] {
+					if s.freePick[h] < 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					s.freePick[c] = i
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// computeGreedy runs the greedy tree-cost fixpoint used only to order
+// branches (first descent then lands on the greedy extraction).
+func (s *solver) computeGreedy() {
+	m := len(s.p.Classes)
+	s.greedy = make([]float64, m)
+	for c := range s.greedy {
+		s.greedy[c] = math.Inf(1)
+	}
+	for changed := true; changed; {
+		changed = false
+		for c := 0; c < m; c++ {
+			for _, i := range s.allowed[c] {
+				t := s.p.Costs[i]
+				for _, h := range s.p.Children[i] {
+					t += s.greedy[h]
+				}
+				if t < s.greedy[c] {
+					s.greedy[c] = t
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// branch decides the next undecided required class. pending holds the
+// required-but-undecided classes; bound is acc + sum of their minCosts.
+func (s *solver) branch(pending []int, bound float64) {
+	s.explored++
+	if s.timedOut || s.stalled {
+		return
+	}
+	if s.hasDeadline && s.explored%512 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return
+	}
+	// The stall limit applies even before a first incumbent exists
+	// (with a grace factor), so a search that cannot find any feasible
+	// solution still terminates.
+	if s.p.StallLimit > 0 && s.explored-s.lastImprove > s.p.StallLimit {
+		if s.bestPick != nil || s.explored-s.lastImprove > 8*s.p.StallLimit {
+			s.stalled = true
+			return
+		}
+	}
+	if s.acc+bound-boundAdjust >= s.best {
+		return
+	}
+	// Select an undecided required class. A class with a *forced
+	// choice* — a node at the class minimum whose children are all
+	// already required or decided (so picking it adds no cost slack
+	// and no new requirements, dominating every alternative) — is
+	// assigned immediately without branching. This collapses the
+	// zero-cost plateaus that split0/split1 alternatives create.
+	// Otherwise branch on the class with the fewest candidates
+	// (fail-first). Forced choices are disabled under cycle
+	// constraints, where an alternative might be the only acyclic one.
+	idx, fewest := -1, int(^uint(0)>>1)
+	for i := len(pending) - 1; i >= 0; i-- {
+		c := pending[i]
+		if s.chosen[c] >= 0 {
+			continue
+		}
+		if f := s.freePick[c]; f >= 0 {
+			rest := removeAt(pending, i)
+			s.assign(c, f, rest, bound-s.minCost[c])
+			return
+		}
+		if !s.p.CycleConstraints {
+			if f := s.forcedChoice(c); f >= 0 {
+				rest := removeAt(pending, i)
+				s.assign(c, f, rest, bound-s.minCost[c])
+				return
+			}
+		}
+		if n := len(s.allowed[c]); n < fewest {
+			fewest, idx = n, i
+		}
+	}
+	if idx < 0 {
+		// All required classes decided: feasible solution.
+		if s.acc < s.best {
+			s.best = s.acc
+			s.bestPick = append([]int(nil), s.chosen...)
+			s.lastImprove = s.explored
+		}
+		return
+	}
+	c := pending[idx]
+	rest := removeAt(pending, idx)
+
+	// Order candidates by the greedy heuristic.
+	cands := append([]int(nil), s.allowed[c]...)
+	sort.Slice(cands, func(a, b int) bool {
+		return s.nodeHeuristic(cands[a]) < s.nodeHeuristic(cands[b])
+	})
+
+	for _, i := range cands {
+		s.assign(c, i, rest, bound-s.minCost[c])
+		if s.timedOut {
+			return
+		}
+	}
+}
+
+// removeAt returns pending without index i (fresh slice).
+func removeAt(pending []int, i int) []int {
+	rest := make([]int, 0, len(pending)-1)
+	rest = append(rest, pending[:i]...)
+	return append(rest, pending[i+1:]...)
+}
+
+// forcedChoice returns a node of class c that dominates all
+// alternatives given the current partial assignment: its cost equals
+// the class minimum and every child class is already required (will be
+// paid regardless) or decided. Returns -1 if no such node exists.
+func (s *solver) forcedChoice(c int) int {
+	for _, i := range s.allowed[c] {
+		if s.p.Costs[i] > s.minCost[c]+boundAdjust {
+			continue
+		}
+		ok := true
+		for _, h := range s.p.Children[i] {
+			if s.chosen[h] < 0 && s.need[h] == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// nodeHeuristic estimates the tree cost of picking node i.
+func (s *solver) nodeHeuristic(i int) float64 {
+	t := s.p.Costs[i]
+	for _, h := range s.p.Children[i] {
+		if s.chosen[h] < 0 {
+			t += s.greedy[h]
+		}
+	}
+	return t
+}
+
+// assign tries x_i = 1 for class c and recurses.
+func (s *solver) assign(c, i int, pending []int, bound float64) {
+	if s.p.CycleConstraints && s.createsCycle(c, i) {
+		return
+	}
+	s.chosen[c] = i
+	s.acc += s.p.Costs[i]
+	added := 0
+	newBound := bound
+	next := pending
+	for _, h := range s.p.Children[i] {
+		s.need[h]++
+		if s.need[h] == 1 && s.chosen[h] < 0 {
+			next = append(next, h)
+			added++
+			newBound += s.minCost[h]
+		}
+	}
+	s.branch(next, newBound)
+	for _, h := range s.p.Children[i] {
+		s.need[h]--
+	}
+	s.acc -= s.p.Costs[i]
+	s.chosen[c] = -1
+}
+
+// boundAdjust guards against floating-point equality ties pruning the
+// incumbent itself.
+const boundAdjust = 1e-9
+
+// createsCycle checks whether choosing node i for class c closes a
+// cycle among currently chosen classes. TopoReal uses DFS reachability
+// (the continuous t_m constraints are satisfiable iff the chosen
+// subgraph is acyclic); TopoInt maintains integer levels by longest-
+// path relaxation with the same feasibility condition but a different
+// (slower on deep graphs) propagation style.
+func (s *solver) createsCycle(c, i int) bool {
+	switch s.p.TopoMode {
+	case TopoInt:
+		return s.createsCycleInt(c, i)
+	default:
+		return s.createsCycleReal(c, i)
+	}
+}
+
+func (s *solver) createsCycleReal(c, i int) bool {
+	// Can we reach c from any child of i through chosen edges?
+	target := c
+	seen := make(map[int]bool)
+	var dfs func(cls int) bool
+	dfs = func(cls int) bool {
+		if cls == target {
+			return true
+		}
+		if seen[cls] {
+			return false
+		}
+		seen[cls] = true
+		n := s.chosen[cls]
+		if n < 0 {
+			return false
+		}
+		for _, h := range s.p.Children[n] {
+			if dfs(h) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, h := range s.p.Children[i] {
+		if dfs(h) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *solver) createsCycleInt(c, i int) bool {
+	// Integer levels: require level[c] >= level[h] + 1 for every chosen
+	// edge c -> h... levels grow downward; relax longest paths from c.
+	// A cycle exists iff relaxation returns to c or exceeds M.
+	m := len(s.p.Classes)
+	// Temporary assignment for propagation.
+	prev := s.chosen[c]
+	s.chosen[c] = i
+	defer func() { s.chosen[c] = prev }()
+
+	depth := make(map[int]int)
+	queue := []int{c}
+	depth[c] = 0
+	for len(queue) > 0 {
+		cls := queue[0]
+		queue = queue[1:]
+		if depth[cls] >= m {
+			return true // longest path longer than class count: cycle
+		}
+		n := s.chosen[cls]
+		if n < 0 {
+			continue
+		}
+		for _, h := range s.p.Children[n] {
+			if h == c {
+				return true
+			}
+			if d, ok := depth[h]; !ok || d < depth[cls]+1 {
+				depth[h] = depth[cls] + 1
+				queue = append(queue, h)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,31 @@
+package pattern
+
+import (
+	"fmt"
+
+	"tensat/internal/tensor"
+)
+
+// InferMeta symbolically evaluates the shapes of a pattern given metas
+// for its variables. The rewrite engine uses it to shape-check a
+// target pattern before applying a rewrite (§4): if any operator in
+// the target is ill-typed for the matched tensors, the rewrite is
+// skipped.
+func InferMeta(p *Pat, varMeta func(string) (*tensor.Meta, bool)) (*tensor.Meta, error) {
+	if p.IsVar() {
+		m, ok := varMeta(p.Var)
+		if !ok || m == nil {
+			return nil, fmt.Errorf("pattern: no meta for variable %s", p.Var)
+		}
+		return m, nil
+	}
+	args := make([]*tensor.Meta, len(p.Children))
+	for i, c := range p.Children {
+		m, err := InferMeta(c, varMeta)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = m
+	}
+	return tensor.Infer(p.Op, p.Int, p.Str, args)
+}

@@ -1,0 +1,188 @@
+package rewrite
+
+import (
+	"sort"
+
+	"tensat/internal/egraph"
+	"tensat/internal/pattern"
+)
+
+// FilterSet marks e-nodes as removed from the e-graph for extraction
+// purposes (the "filter list" of Algorithm 2), keyed by the node's
+// global insertion stamp. Filtered nodes stay in the e-graph (removal
+// would break congruence bookkeeping) but are ignored by descendant
+// computation, cycle detection and extraction; the ILP extractor adds
+// x_i = 0 constraints for them, exactly as §5.2 prescribes.
+type FilterSet map[int64]bool
+
+// Has reports whether the node with this stamp is filtered.
+func (f FilterSet) Has(stamp int64) bool { return f[stamp] }
+
+// descendants maps every canonical e-class to the set of e-classes
+// reachable strictly below it (through unfiltered nodes).
+type descendants map[egraph.ClassID]*egraph.Bitset
+
+// computeDescendants makes one pass over the e-graph and records the
+// descendant e-class set for each e-class (the GETDESCENDANTS step of
+// Algorithm 2). The e-graph must be acyclic modulo filtered nodes; if
+// a residual cycle is encountered the edge closing it is ignored (the
+// post-processing pass will resolve it).
+func computeDescendants(g *egraph.EGraph, filtered FilterSet) descendants {
+	desc := make(descendants, g.ClassCount())
+	state := make(map[egraph.ClassID]uint8, g.ClassCount()) // 1 = on stack, 2 = done
+	n := g.ClassCount()
+	var dfs func(id egraph.ClassID)
+	dfs = func(id egraph.ClassID) {
+		id = g.Find(id)
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		b := egraph.NewBitset(n)
+		cls := g.Class(id)
+		for i, node := range cls.Nodes {
+			if filtered.Has(cls.Stamps[i]) {
+				continue
+			}
+			for _, ch := range node.Children {
+				ch = g.Find(ch)
+				if state[ch] == 1 {
+					// Residual cycle; skip this edge, post-processing fixes it.
+					continue
+				}
+				dfs(ch)
+				b.Set(ch)
+				b.Or(desc[ch])
+			}
+		}
+		desc[id] = b
+		state[id] = 2
+	}
+	g.Classes(func(cls *egraph.Class) { dfs(cls.ID) })
+	return desc
+}
+
+// willCreateCycle is the pre-filtering check of Algorithm 2 (line 6):
+// applying the rewrite would add nodes under class `matched` whose
+// leaves are the classes bound in subst; a cycle appears iff some
+// bound class can already reach `matched` (or is `matched` itself).
+// The check is sound but not complete: desc is a snapshot from the
+// start of the iteration.
+func willCreateCycle(g *egraph.EGraph, desc descendants, target *pattern.Pat,
+	subst pattern.Subst, matched egraph.ClassID) bool {
+	cm := g.Find(matched)
+	for _, v := range target.Vars() {
+		b, ok := subst[v]
+		if !ok {
+			continue
+		}
+		b = g.Find(b)
+		if b == cm {
+			return true
+		}
+		if d := desc[b]; d != nil && d.Has(cm) {
+			return true
+		}
+	}
+	return false
+}
+
+// cycleEdge identifies one e-graph edge on a cycle: the e-node (by
+// class and stamp) whose child closes the cycle.
+type cycleEdge struct {
+	class egraph.ClassID
+	stamp int64
+}
+
+// findCycles performs the DFSGETCYCLES pass of Algorithm 2: a DFS over
+// the class graph (through unfiltered nodes) collecting one cycle per
+// back edge encountered.
+func findCycles(g *egraph.EGraph, filtered FilterSet) [][]cycleEdge {
+	state := make(map[egraph.ClassID]uint8, g.ClassCount())
+	pos := make(map[egraph.ClassID]int, g.ClassCount())
+	var stackEdges []cycleEdge // stackEdges[k] enters the class at depth k+1
+	var cycles [][]cycleEdge
+
+	var dfs func(id egraph.ClassID, depth int)
+	dfs = func(id egraph.ClassID, depth int) {
+		state[id] = 1
+		pos[id] = depth
+		cls := g.Class(id)
+		for i, node := range cls.Nodes {
+			if filtered.Has(cls.Stamps[i]) {
+				continue
+			}
+			stamp := cls.Stamps[i]
+			for _, ch := range node.Children {
+				ch = g.Find(ch)
+				switch state[ch] {
+				case 1: // back edge: cycle through stack from ch to id, plus this edge
+					start := pos[ch]
+					cyc := make([]cycleEdge, 0, depth-start+1)
+					cyc = append(cyc, stackEdges[start:depth]...)
+					cyc = append(cyc, cycleEdge{class: id, stamp: stamp})
+					cycles = append(cycles, cyc)
+				case 0:
+					stackEdges = append(stackEdges, cycleEdge{class: id, stamp: stamp})
+					dfs(ch, depth+1)
+					stackEdges = stackEdges[:depth]
+				}
+			}
+		}
+		state[id] = 2
+	}
+	g.Classes(func(cls *egraph.Class) {
+		if state[g.Find(cls.ID)] == 0 {
+			dfs(g.Find(cls.ID), 0)
+		}
+	})
+	return cycles
+}
+
+// resolveCycles implements RESOLVECYCLE: for each cycle not already
+// broken by an earlier resolution, filter the most recently added
+// e-node on it (largest insertion stamp). Returns how many nodes were
+// filtered.
+func resolveCycles(filtered FilterSet, cycles [][]cycleEdge) int {
+	count := 0
+	for _, cyc := range cycles {
+		broken := false
+		for _, e := range cyc {
+			if filtered.Has(e.stamp) {
+				broken = true
+				break
+			}
+		}
+		if broken {
+			continue
+		}
+		// Filter the last-added node on the cycle.
+		sort.Slice(cyc, func(i, j int) bool { return cyc[i].stamp > cyc[j].stamp })
+		filtered[cyc[0].stamp] = true
+		count++
+	}
+	return count
+}
+
+// FilterCycles runs the post-processing loop of Algorithm 2 (lines
+// 10-18) until the e-graph is acyclic modulo the filter set. It
+// returns the number of nodes newly filtered.
+func FilterCycles(g *egraph.EGraph, filtered FilterSet) int {
+	total := 0
+	for {
+		cycles := findCycles(g, filtered)
+		if len(cycles) == 0 {
+			return total
+		}
+		// findCycles only walks unfiltered edges, so the first cycle in
+		// the list is never already broken: progress is guaranteed.
+		total += resolveCycles(filtered, cycles)
+	}
+}
+
+// IsAcyclic reports whether the class graph is acyclic through
+// unfiltered nodes (the invariant the ILP extractor without cycle
+// constraints relies on).
+func IsAcyclic(g *egraph.EGraph, filtered FilterSet) bool {
+	return len(findCycles(g, filtered)) == 0
+}

@@ -1,0 +1,132 @@
+package rewrite
+
+import (
+	"testing"
+
+	"tensat/internal/egraph"
+	"tensat/internal/pattern"
+	"tensat/internal/tensor"
+)
+
+// cyclicEGraph hand-builds the Figure 3 situation: two classes that
+// reference each other through e-nodes added at known stamps.
+func cyclicEGraph(t *testing.T) (*egraph.EGraph, egraph.ClassID, egraph.ClassID) {
+	t.Helper()
+	g := egraph.New(nil)
+	// Base tensors.
+	x := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "x@4 4"))
+	y := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "y@4 4"))
+	a := g.Add(egraph.NewNode(egraph.Op(tensor.OpRelu), x))  // class A
+	bb := g.Add(egraph.NewNode(egraph.Op(tensor.OpTanh), y)) // class B
+	// Now add a node in A referencing B, and a node in B referencing A,
+	// via unions (simulating rewrites whose targets point across).
+	na := g.Add(egraph.NewNode(egraph.Op(tensor.OpSigmoid), bb)) // sigmoid(B)
+	g.Union(a, na)
+	nb := g.Add(egraph.NewNode(egraph.Op(tensor.OpSigmoid), a)) // sigmoid(A)
+	g.Union(bb, nb)
+	g.Rebuild()
+	return g, g.Find(a), g.Find(bb)
+}
+
+func TestFindCyclesDetectsFigure3(t *testing.T) {
+	g, _, _ := cyclicEGraph(t)
+	cycles := findCycles(g, FilterSet{})
+	if len(cycles) == 0 {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestFilterCyclesBreaksAllCycles(t *testing.T) {
+	g, _, _ := cyclicEGraph(t)
+	filtered := FilterSet{}
+	n := FilterCycles(g, filtered)
+	if n == 0 {
+		t.Fatal("nothing filtered")
+	}
+	if !IsAcyclic(g, filtered) {
+		t.Fatal("still cyclic after FilterCycles")
+	}
+}
+
+func TestFilterCyclesRemovesLastAddedNode(t *testing.T) {
+	g, a, b := cyclicEGraph(t)
+	filtered := FilterSet{}
+	FilterCycles(g, filtered)
+	// The cycle consists of sigmoid(B) in A (earlier) and sigmoid(A) in
+	// B (later). Algorithm 2 filters the most recently added node.
+	var maxStamp int64
+	for _, id := range []egraph.ClassID{a, b} {
+		cls := g.Class(id)
+		for i := range cls.Nodes {
+			if cls.Stamps[i] > maxStamp {
+				maxStamp = cls.Stamps[i]
+			}
+		}
+	}
+	if !filtered.Has(maxStamp) {
+		t.Fatalf("expected last-added node (stamp %d) filtered, got %v", maxStamp, filtered)
+	}
+	if len(filtered) != 1 {
+		t.Fatalf("filtered %d nodes, want 1", len(filtered))
+	}
+}
+
+func TestIsAcyclicOnAcyclicGraph(t *testing.T) {
+	g := egraph.New(nil)
+	x := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "x@4 4"))
+	g.Add(egraph.NewNode(egraph.Op(tensor.OpRelu), x))
+	if !IsAcyclic(g, FilterSet{}) {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+}
+
+func TestDescendantsSkipFilteredNodes(t *testing.T) {
+	g, a, b := cyclicEGraph(t)
+	filtered := FilterSet{}
+	FilterCycles(g, filtered)
+	desc := computeDescendants(g, filtered)
+	// After filtering, at most one of A-reaches-B / B-reaches-A remains.
+	ab := desc[g.Find(a)] != nil && desc[g.Find(a)].Has(g.Find(b))
+	ba := desc[g.Find(b)] != nil && desc[g.Find(b)].Has(g.Find(a))
+	if ab && ba {
+		t.Fatal("descendants still mutually reachable after filtering")
+	}
+}
+
+func TestWillCreateCycleSelfReference(t *testing.T) {
+	g := egraph.New(nil)
+	x := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "x@4 4"))
+	r := g.Add(egraph.NewNode(egraph.Op(tensor.OpRelu), x))
+	desc := computeDescendants(g, FilterSet{})
+	// A rewrite binding ?t to the matched class itself must be caught.
+	p := mustPat(t, "(relu ?t)")
+	subst := substOf("?t", r)
+	if !willCreateCycle(g, desc, p, subst, r) {
+		t.Fatal("self-referential target not flagged")
+	}
+	// Binding ?t to a leaf below is fine.
+	subst = substOf("?t", x)
+	if willCreateCycle(g, desc, p, subst, r) {
+		t.Fatal("downward reference wrongly flagged")
+	}
+	// But binding ?t to an ancestor is a cycle.
+	up := g.Add(egraph.NewNode(egraph.Op(tensor.OpTanh), r))
+	desc = computeDescendants(g, FilterSet{})
+	subst = substOf("?t", up)
+	if !willCreateCycle(g, desc, p, subst, x) {
+		t.Fatal("ancestor reference not flagged")
+	}
+}
+
+func mustPat(t *testing.T, src string) *pattern.Pat {
+	t.Helper()
+	p, err := pattern.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func substOf(v string, id egraph.ClassID) pattern.Subst {
+	return pattern.Subst{v: id}
+}

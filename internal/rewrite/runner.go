@@ -1,0 +1,335 @@
+package rewrite
+
+import (
+	"time"
+
+	"tensat/internal/egraph"
+	"tensat/internal/pattern"
+	"tensat/internal/tensor"
+)
+
+// FilterMode selects the cycle-filtering strategy of §5.2.
+type FilterMode int
+
+const (
+	// FilterEfficient is Algorithm 2: a descendants map built once per
+	// iteration for pre-filtering, plus a DFS post-processing pass.
+	FilterEfficient FilterMode = iota
+	// FilterVanilla recomputes the descendants map before every single
+	// substitution (O(n_m * N) per iteration).
+	FilterVanilla
+	// FilterNone performs no cycle filtering; extraction must then use
+	// the ILP formulation with cycle constraints (§5.1).
+	FilterNone
+)
+
+// String names the mode.
+func (m FilterMode) String() string {
+	switch m {
+	case FilterEfficient:
+		return "efficient"
+	case FilterVanilla:
+		return "vanilla"
+	default:
+		return "none"
+	}
+}
+
+// Limits bound the exploration phase (§6.1: N_max = 50000, k_max = 15,
+// k_multi = 1 by default).
+type Limits struct {
+	MaxNodes int           // stop when the e-graph holds this many e-nodes
+	MaxIters int           // maximum exploration iterations
+	KMulti   int           // iterations during which multi-pattern rules fire
+	Timeout  time.Duration // wall-clock bound for the exploration phase
+}
+
+// DefaultLimits mirrors the paper's experimental setup.
+func DefaultLimits() Limits {
+	return Limits{MaxNodes: 50000, MaxIters: 15, KMulti: 1, Timeout: time.Hour}
+}
+
+// Stats reports what the exploration phase did.
+type Stats struct {
+	Iterations    int
+	Saturated     bool
+	HitNodeLimit  bool
+	HitIterLimit  bool
+	HitTimeout    bool
+	Matches       int // candidate substitutions found
+	Applied       int // substitutions applied
+	SkippedShape  int // substitutions rejected by shape checking
+	SkippedCycle  int // substitutions rejected by the pre-filter
+	FilteredNodes int // e-nodes put on the filter list by post-processing
+	ENodes        int // final e-node count
+	EClasses      int // final e-class count
+	ExploreTime   time.Duration
+}
+
+// Explored is the result of the exploration phase: the saturated (or
+// limit-bounded) e-graph, its root class, and the cycle filter list.
+type Explored struct {
+	G        *egraph.EGraph
+	Root     egraph.ClassID
+	Filtered FilterSet
+	Stats    Stats
+	// IngestStamp is the insertion-counter value right after the input
+	// graph was loaded: e-nodes with stamps at or below it form the
+	// original graph, which extraction uses as a warm start.
+	IngestStamp int64
+}
+
+// Runner drives the exploration phase over a rule set.
+type Runner struct {
+	Rules  []*Rule
+	Filter FilterMode
+	Limits Limits
+}
+
+// NewRunner builds a Runner with default limits and efficient filtering.
+func NewRunner(rules []*Rule) *Runner {
+	return &Runner{Rules: rules, Filter: FilterEfficient, Limits: DefaultLimits()}
+}
+
+// canonicalSource is one entry of the canonicalized S-expression set of
+// Algorithm 1 (lines 1-8): a canonical pattern searched once per
+// iteration, shared by all rule sources that rename to it.
+type canonicalSource struct {
+	pat     *pattern.Pat
+	matches []pattern.Match // filled per iteration
+}
+
+// sourceRef ties a rule's i-th source to its canonical pattern and the
+// rename map used to decanonicalize matches.
+type sourceRef struct {
+	canon *canonicalSource
+	back  map[string]string // canonical var -> original var
+}
+
+// Run explores the e-graph of t until saturation or limits.
+func (r *Runner) Run(t *tensor.Graph) (*Explored, error) {
+	g, root, _, err := Ingest(t)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explored{G: g, Root: root, Filtered: make(FilterSet), IngestStamp: g.Stamp()}
+	r.explore(ex)
+	return ex, nil
+}
+
+// RunOnEGraph explores an existing e-graph (used by tests and by the
+// incremental experiment harness).
+func (r *Runner) RunOnEGraph(g *egraph.EGraph, root egraph.ClassID) *Explored {
+	ex := &Explored{G: g, Root: root, Filtered: make(FilterSet), IngestStamp: g.Stamp()}
+	r.explore(ex)
+	return ex
+}
+
+func (r *Runner) explore(ex *Explored) {
+	start := time.Now()
+	g := ex.G
+	lim := r.Limits
+	// MaxNodes/Timeout zero means "default"; MaxIters 0 is honored as-is
+	// (an explicit "do not explore"), matching the k_multi=0 baseline.
+	if lim.MaxNodes == 0 {
+		lim.MaxNodes = 50000
+	}
+	if lim.Timeout == 0 {
+		lim.Timeout = time.Hour
+	}
+
+	// Canonicalize all source patterns once (Algorithm 1, lines 1-8).
+	canon := make(map[string]*canonicalSource)
+	refs := make(map[*Rule][]sourceRef, len(r.Rules))
+	for _, rule := range r.Rules {
+		for _, src := range rule.Sources {
+			cp, back := src.Canonical()
+			key := cp.String()
+			cs, ok := canon[key]
+			if !ok {
+				cs = &canonicalSource{pat: cp}
+				canon[key] = cs
+			}
+			refs[rule] = append(refs[rule], sourceRef{canon: cs, back: back})
+		}
+	}
+
+	deadline := start.Add(lim.Timeout)
+	for iter := 0; ; iter++ {
+		if iter >= lim.MaxIters {
+			ex.Stats.HitIterLimit = true
+			break
+		}
+		if g.NodeCount() >= lim.MaxNodes {
+			ex.Stats.HitNodeLimit = true
+			break
+		}
+		if time.Now().After(deadline) {
+			ex.Stats.HitTimeout = true
+			break
+		}
+		useMulti := iter < lim.KMulti
+		changed := r.iterate(ex, canon, refs, useMulti, lim, deadline)
+		ex.Stats.Iterations++
+		if !changed {
+			ex.Stats.Saturated = true
+			break
+		}
+	}
+
+	// Guarantee the acyclic invariant before extraction.
+	if r.Filter != FilterNone {
+		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered)
+	}
+	ex.Stats.ENodes = g.NodeCount()
+	ex.Stats.EClasses = g.ClassCount()
+	ex.Stats.ExploreTime = time.Since(start)
+}
+
+// iterate runs one exploration iteration: search all canonical
+// patterns, then apply all rule matches (Algorithm 1, lines 9-22),
+// then rebuild and post-process cycles (Algorithm 2, lines 10-18).
+func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
+	refs map[*Rule][]sourceRef, useMulti bool, lim Limits, deadline time.Time) bool {
+
+	g := ex.G
+	nodesBefore := g.NodeCount()
+	unioned := false
+
+	// One descendants snapshot per iteration for the efficient filter.
+	var desc descendants
+	if r.Filter == FilterEfficient {
+		desc = computeDescendants(g, ex.Filtered)
+	}
+
+	// SEARCH(G, e_c): all matches for all canonical patterns.
+	for _, cs := range canon {
+		cs.matches = pattern.Search(g, cs.pat)
+	}
+
+	apply := func(rule *Rule, matched []egraph.ClassID, subst pattern.Subst) {
+		// Shape checking (§4) over every target pattern.
+		varMeta := func(v string) (*tensor.Meta, bool) {
+			id, ok := subst[v]
+			if !ok {
+				return nil, false
+			}
+			m := ClassMeta(g, id)
+			return m, m != nil
+		}
+		for _, tgt := range rule.Targets {
+			if _, err := pattern.InferMeta(tgt, varMeta); err != nil {
+				ex.Stats.SkippedShape++
+				return
+			}
+		}
+		if rule.Cond != nil && !rule.Cond(g, subst) {
+			ex.Stats.SkippedShape++
+			return
+		}
+		// Cycle pre-filtering.
+		if r.Filter != FilterNone {
+			d := desc
+			if r.Filter == FilterVanilla {
+				// Vanilla: a full pass over the e-graph per substitution.
+				d = computeDescendants(g, ex.Filtered)
+			}
+			for i, tgt := range rule.Targets {
+				if willCreateCycle(g, d, tgt, subst, matched[i]) {
+					ex.Stats.SkippedCycle++
+					return
+				}
+			}
+		}
+		// APPLY: instantiate each target and union with its matched output.
+		for i, tgt := range rule.Targets {
+			id, err := pattern.Instantiate(g, tgt, subst)
+			if err != nil {
+				return // unbound variable: cannot happen for validated rules
+			}
+			if _, ch := g.Union(id, matched[i]); ch {
+				unioned = true
+			}
+		}
+		ex.Stats.Applied++
+	}
+
+	for _, rule := range r.Rules {
+		if rule.IsMulti() && !useMulti {
+			continue
+		}
+		if g.NodeCount() >= lim.MaxNodes || time.Now().After(deadline) {
+			break
+		}
+		rrefs := refs[rule]
+		if !rule.IsMulti() {
+			ref := rrefs[0]
+			for _, m := range ref.canon.matches {
+				ex.Stats.Matches++
+				apply(rule, []egraph.ClassID{m.Class}, m.Subst.Rename(ref.back))
+				if g.NodeCount() >= lim.MaxNodes {
+					break
+				}
+			}
+			continue
+		}
+		// Multi-pattern: cartesian product of decanonicalized matches,
+		// keeping only combinations compatible on shared variables
+		// (Algorithm 1, lines 11-21).
+		r.applyMulti(ex, rule, rrefs, apply, lim, deadline)
+	}
+
+	g.Rebuild()
+
+	if r.Filter != FilterNone {
+		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered)
+	}
+	return unioned || g.NodeCount() != nodesBefore
+}
+
+// applyMulti enumerates compatible match combinations for a
+// multi-pattern rule via backtracking over the per-source match lists.
+func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
+	apply func(*Rule, []egraph.ClassID, pattern.Subst), lim Limits, deadline time.Time) {
+
+	g := ex.G
+	matched := make([]egraph.ClassID, len(rrefs))
+	applied := 0
+	var rec func(i int, subst pattern.Subst)
+	rec = func(i int, subst pattern.Subst) {
+		if g.NodeCount() >= lim.MaxNodes {
+			return
+		}
+		if applied++; applied%256 == 0 && time.Now().After(deadline) {
+			return
+		}
+		if i == len(rrefs) {
+			ex.Stats.Matches++
+			apply(rule, append([]egraph.ClassID(nil), matched...), subst)
+			return
+		}
+		ref := rrefs[i]
+		for _, m := range ref.canon.matches {
+			ms := m.Subst.Rename(ref.back)
+			// COMPATIBLE: shared variables must map to the same e-class.
+			merged := subst.Clone()
+			ok := true
+			for v, id := range ms {
+				if prev, bound := merged[v]; bound {
+					if g.Find(prev) != g.Find(id) {
+						ok = false
+						break
+					}
+					continue
+				}
+				merged[v] = id
+			}
+			if !ok {
+				continue
+			}
+			matched[i] = m.Class
+			rec(i+1, merged)
+		}
+	}
+	rec(0, pattern.Subst{})
+}

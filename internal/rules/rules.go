@@ -1,0 +1,256 @@
+// Package rules provides the rewrite-rule set used by TENSAT's
+// experiments. The paper reuses TASO's automatically generated and
+// verified rules (§6.1: "We use the same set of rewrite rules as TASO
+// for our experiments"); TASO's generator is not available here, so
+// this is a hand-written, shape-checked set covering the same rule
+// families, including every pattern the paper's appendix shows in use
+// (Figures 2 and 8-11). All rules are validated by the engine's shape
+// checking before application, so rules that need preconditions beyond
+// syntax (split markers, divisibility of channels, matching spatial
+// dims) are stated in full generality here and pruned at match time.
+package rules
+
+import (
+	"tensat/internal/egraph"
+	"tensat/internal/pattern"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+// Default returns the full rule set: all single-pattern rules plus the
+// multi-pattern merges.
+func Default() []*rewrite.Rule {
+	return append(Single(), Multi()...)
+}
+
+// Single returns the single-pattern rules.
+func Single() []*rewrite.Rule {
+	var rs []*rewrite.Rule
+	bi := func(name, a, b string) { rs = append(rs, rewrite.Bidirectional(name, a, b)...) }
+	one := func(name, a, b string) { rs = append(rs, rewrite.MustRule(name, a, b)) }
+
+	// --- element-wise algebra ---
+	one("ewadd-comm", "(ewadd ?x ?y)", "(ewadd ?y ?x)")
+	bi("ewadd-assoc", "(ewadd ?x (ewadd ?y ?z))", "(ewadd (ewadd ?x ?y) ?z)")
+	one("ewmul-comm", "(ewmul ?x ?y)", "(ewmul ?y ?x)")
+	bi("ewmul-assoc", "(ewmul ?x (ewmul ?y ?z))", "(ewmul (ewmul ?x ?y) ?z)")
+	bi("distribute-mul-over-add", "(ewmul (ewadd ?x ?y) ?z)", "(ewadd (ewmul ?x ?z) (ewmul ?y ?z))")
+
+	// --- matmul algebra (activation-free forms only) ---
+	bi("matmul-assoc", "(matmul 0 ?x (matmul 0 ?y ?z))", "(matmul 0 (matmul 0 ?x ?y) ?z)")
+	bi("matmul-linear-rhs", "(matmul 0 ?x (ewadd ?y ?z))", "(ewadd (matmul 0 ?x ?y) (matmul 0 ?x ?z))")
+	bi("matmul-linear-lhs", "(matmul 0 (ewadd ?x ?y) ?z)", "(ewadd (matmul 0 ?x ?z) (matmul 0 ?y ?z))")
+
+	// --- activation fusion ---
+	bi("matmul-fuse-sigmoid", "(sigmoid (matmul 0 ?x ?y))", "(matmul 1 ?x ?y)")
+	bi("matmul-fuse-relu", "(relu (matmul 0 ?x ?y))", "(matmul 2 ?x ?y)")
+	bi("matmul-fuse-tanh", "(tanh (matmul 0 ?x ?y))", "(matmul 3 ?x ?y)")
+	bi("conv-fuse-relu", "(relu (conv ?sh ?sw ?p 0 ?x ?w))", "(conv ?sh ?sw ?p 2 ?x ?w)")
+
+	// --- transpose geometry ---
+	bi("relu-transpose", "(relu (transpose ?x ?perm))", "(transpose (relu ?x) ?perm)")
+	bi("ewadd-transpose", "(ewadd (transpose ?x ?perm) (transpose ?y ?perm))", "(transpose (ewadd ?x ?y) ?perm)")
+	bi("ewmul-transpose", "(ewmul (transpose ?x ?perm) (transpose ?y ?perm))", "(transpose (ewmul ?x ?y) ?perm)")
+	bi("matmul-transpose-2d",
+		`(transpose (matmul 0 ?x ?y) "1 0")`,
+		`(matmul 0 (transpose ?y "1 0") (transpose ?x "1 0"))`)
+	rs = append(rs, transposeInverse())
+
+	// --- concat / split structure ---
+	// split reads the boundary from its input's e-class analysis (the
+	// "most recent concat" of §3.1), so undoing a concat is only sound
+	// when the class marker still sits at this concat's boundary —
+	// merging can move it (e.g. via concat-assoc). The condition
+	// enforces that.
+	rs = append(rs, splitOfConcat("split0-of-concat", "(split0 (split ?a (concat2 ?a ?x ?y)))", "?x"))
+	rs = append(rs, splitOfConcat("split1-of-concat", "(split1 (split ?a (concat2 ?a ?x ?y)))", "?y"))
+	one("concat-of-splits", "(concat2 ?a (split0 (split ?a ?t)) (split1 (split ?a ?t)))", "?t")
+	bi("concat-assoc", "(concat2 ?a ?x (concat2 ?a ?y ?z))", "(concat2 ?a (concat2 ?a ?x ?y) ?z)")
+	bi("concat-ewadd", "(ewadd (concat2 ?a ?x ?y) (concat2 ?a ?z ?w))", "(concat2 ?a (ewadd ?x ?z) (ewadd ?y ?w))")
+	bi("concat-ewmul", "(ewmul (concat2 ?a ?x ?y) (concat2 ?a ?z ?w))", "(concat2 ?a (ewmul ?x ?z) (ewmul ?y ?w))")
+	bi("concat-relu", "(concat2 ?a (relu ?x) (relu ?y))", "(relu (concat2 ?a ?x ?y))")
+	bi("concat-tanh", "(concat2 ?a (tanh ?x) (tanh ?y))", "(tanh (concat2 ?a ?x ?y))")
+	bi("concat-sigmoid", "(concat2 ?a (sigmoid ?x) (sigmoid ?y))", "(sigmoid (concat2 ?a ?x ?y))")
+
+	// --- operator merging through concat (Figures 8, 9, 11 as
+	//     single-pattern rules rooted at the combining op) ---
+	bi("matmul-concat-cols", "(concat2 1 (matmul ?act ?x ?y) (matmul ?act ?x ?z))", "(matmul ?act ?x (concat2 1 ?y ?z))")
+	bi("matmul-concat-rows", "(concat2 0 (matmul ?act ?x ?w) (matmul ?act ?y ?w))", "(matmul ?act (concat2 0 ?x ?y) ?w)")
+	bi("conv-concat-outchannels",
+		"(concat2 1 (conv ?sh ?sw ?p ?act ?x ?w1) (conv ?sh ?sw ?p ?act ?x ?w2))",
+		"(conv ?sh ?sw ?p ?act ?x (concat2 0 ?w1 ?w2))")
+	bi("conv-concat-batch",
+		"(concat2 0 (conv ?sh ?sw ?p ?act ?x ?w) (conv ?sh ?sw ?p ?act ?y ?w))",
+		"(conv ?sh ?sw ?p ?act (concat2 0 ?x ?y) ?w)")
+	// Figure 10: two convolutions summed = one convolution over
+	// channel-concatenated inputs and weights (weights fold offline).
+	bi("conv-add-to-concat-inchannels",
+		"(ewadd (conv ?sh ?sw ?p 0 ?x ?w1) (conv ?sh ?sw ?p 0 ?y ?w2))",
+		"(conv ?sh ?sw ?p 0 (concat2 1 ?x ?y) (concat2 1 ?w1 ?w2))")
+	bi("pool-concat-channels",
+		"(concat2 1 (poolmax ?x ?kh ?kw ?sh ?sw ?p ?act) (poolmax ?y ?kh ?kw ?sh ?sw ?p ?act))",
+		"(poolmax (concat2 1 ?x ?y) ?kh ?kw ?sh ?sw ?p ?act)")
+	bi("poolavg-concat-channels",
+		"(concat2 1 (poolavg ?x ?kh ?kw ?sh ?sw ?p ?act) (poolavg ?y ?kh ?kw ?sh ?sw ?p ?act))",
+		"(poolavg (concat2 1 ?x ?y) ?kh ?kw ?sh ?sw ?p ?act)")
+
+	// --- grouped convolution merging (TASO's merge_gconv; shape
+	//     checking rejects it when count does not divide the groups,
+	//     and the condition pins the cout == C geometry merge's
+	//     zero-pad layout is defined for) ---
+	rs = append(rs, mergeGconv())
+
+	return rs
+}
+
+// splitOfConcat builds a guarded split-elimination rule: it fires only
+// when the e-class holding (concat2 ?a ?x ?y) carries a split marker
+// exactly at ?x's boundary, so split(?a, ·) provably undoes this
+// concat and not some other member of the class.
+func splitOfConcat(name, src, dst string) *rewrite.Rule {
+	r := rewrite.MustRule(name, src, dst)
+	r.Cond = func(g *egraph.EGraph, s pattern.Subst) bool {
+		am := rewrite.ClassMeta(g, s["?a"])
+		xm := rewrite.ClassMeta(g, s["?x"])
+		ym := rewrite.ClassMeta(g, s["?y"])
+		if am == nil || xm == nil || ym == nil || am.Kind != tensor.KindInt {
+			return false
+		}
+		axis := int(am.IVal)
+		if axis < 0 || axis >= len(xm.Shape) {
+			return false
+		}
+		// Locate the concat node's class and check its marker.
+		node := egraph.Node{
+			Op:       egraph.Op(concatOpFor(2)),
+			Children: []egraph.ClassID{s["?a"], s["?x"], s["?y"]},
+		}
+		id, ok := g.Lookup(node)
+		if !ok {
+			return false
+		}
+		cm := rewrite.ClassMeta(g, id)
+		return cm != nil && cm.HasSplit && cm.SplitAxis == axis && cm.SplitAt == xm.Shape[axis]
+	}
+	return r
+}
+
+func concatOpFor(n int) tensor.Op {
+	op, err := tensor.ConcatOp(n)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// mergeGconv builds the conditional merge_gconv rule.
+func mergeGconv() *rewrite.Rule {
+	r := rewrite.MustRule("merge-gconv",
+		"(conv ?sh ?sw 0 ?act ?x ?w)", "(conv ?sh ?sw 0 ?act ?x (merge ?w 2))")
+	r.Cond = func(g *egraph.EGraph, s pattern.Subst) bool {
+		xm := rewrite.ClassMeta(g, s["?x"])
+		wm := rewrite.ClassMeta(g, s["?w"])
+		if xm == nil || wm == nil || len(xm.Shape) != 4 || len(wm.Shape) != 4 {
+			return false
+		}
+		// cout == C, and actually grouped (cinPG < C).
+		return wm.Shape[0] == xm.Shape[1] && wm.Shape[1] < xm.Shape[1]
+	}
+	return r
+}
+
+// Multi returns the multi-pattern rules (§4), applied via Algorithm 1.
+func Multi() []*rewrite.Rule {
+	var rs []*rewrite.Rule
+	multi := func(name, src, dst string) { rs = append(rs, rewrite.MustMultiRule(name, src, dst)) }
+
+	// Figure 2 / Figure 8: two matmuls sharing the left input.
+	multi("merge-matmuls-shared-input",
+		"(matmul ?act ?x ?y) (matmul ?act ?x ?z)",
+		"(split0 (split 1 (matmul ?act ?x (concat2 1 ?y ?z)))) "+
+			"(split1 (split 1 (matmul ?act ?x (concat2 1 ?y ?z))))")
+
+	// Figure 11 dual: two matmuls sharing the weight.
+	multi("merge-matmuls-shared-weight",
+		"(matmul ?act ?x ?w) (matmul ?act ?y ?w)",
+		"(split0 (split 0 (matmul ?act (concat2 0 ?x ?y) ?w))) "+
+			"(split1 (split 0 (matmul ?act (concat2 0 ?x ?y) ?w)))")
+
+	// Figure 9: two convolutions sharing the input; weights concatenate
+	// on output channels, result splits on the channel axis.
+	multi("merge-convs-shared-input",
+		"(conv ?sh ?sw ?p ?act ?x ?w1) (conv ?sh ?sw ?p ?act ?x ?w2)",
+		"(split0 (split 1 (conv ?sh ?sw ?p ?act ?x (concat2 0 ?w1 ?w2)))) "+
+			"(split1 (split 1 (conv ?sh ?sw ?p ?act ?x (concat2 0 ?w1 ?w2))))")
+
+	// Parallel element-wise operators batch into one kernel over
+	// concatenated operands (with the halves recovered by split) — the
+	// element-wise analogue of the Figure 2 merge, which is what turns
+	// NasRNN's many small activation/multiply kernels into a few wide
+	// ones (appendix Figure 11's surroundings).
+	ewPair := func(name, op string) {
+		multi("merge-"+name+"-pair",
+			"("+op+" ?x) ("+op+" ?y)",
+			"(split0 (split 1 ("+op+" (concat2 1 ?x ?y)))) "+
+				"(split1 (split 1 ("+op+" (concat2 1 ?x ?y))))")
+	}
+	ewPair("tanh", "tanh")
+	ewPair("sigmoid", "sigmoid")
+	ewPair("relu", "relu")
+	multi("merge-ewmul-pair",
+		"(ewmul ?a ?b) (ewmul ?c ?d)",
+		"(split0 (split 1 (ewmul (concat2 1 ?a ?c) (concat2 1 ?b ?d)))) "+
+			"(split1 (split 1 (ewmul (concat2 1 ?a ?c) (concat2 1 ?b ?d))))")
+	multi("merge-ewadd-pair",
+		"(ewadd ?a ?b) (ewadd ?c ?d)",
+		"(split0 (split 1 (ewadd (concat2 1 ?a ?c) (concat2 1 ?b ?d)))) "+
+			"(split1 (split 1 (ewadd (concat2 1 ?a ?c) (concat2 1 ?b ?d))))")
+
+	// Kernel enlargement (TASO): under SAME padding and stride 1, a
+	// kernel zero-padded to another conv's spatial size computes the
+	// same function, enabling the Figure 9 merge across kernel sizes.
+	multi("enlarge-conv-kernel",
+		"(conv 1 1 0 ?act ?x ?w1) (conv 1 1 0 ?act ?x ?w2)",
+		"(conv 1 1 0 ?act ?x (enlarge ?w1 ?w2)) (conv 1 1 0 ?act ?x ?w2)")
+
+	return rs
+}
+
+// transposeInverse builds the conditional rule
+//
+//	(transpose (transpose ?x ?p) ?q) => ?x   when q ∘ p = id
+//
+// The composition check needs the actual permutation strings, which
+// live in the e-class analysis, so this is a conditional rewrite.
+func transposeInverse() *rewrite.Rule {
+	r := rewrite.MustRule("transpose-inverse", "(transpose (transpose ?x ?p) ?q)", "?x")
+	r.Cond = func(g *egraph.EGraph, s pattern.Subst) bool {
+		pm := rewrite.ClassMeta(g, s["?p"])
+		qm := rewrite.ClassMeta(g, s["?q"])
+		if pm == nil || qm == nil || pm.Kind != tensor.KindStr || qm.Kind != tensor.KindStr {
+			return false
+		}
+		p, err1 := tensor.ParsePerm(pm.SVal)
+		q, err2 := tensor.ParsePerm(qm.SVal)
+		if err1 != nil || err2 != nil || len(p) != len(q) {
+			return false
+		}
+		for i := range q {
+			// applying p then q: out[i] = in[p[q[i]]]; identity iff p[q[i]] == i.
+			if p[q[i]] != i {
+				return false
+			}
+		}
+		return true
+	}
+	return r
+}
+
+// Names lists rule names, for reports.
+func Names(rs []*rewrite.Rule) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"testing"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/extract"
+	"tensat/internal/models"
+	"tensat/internal/rewrite"
+	"tensat/internal/tensor"
+)
+
+// TestOptimizedGraphsComputeSameValues is the end-to-end soundness
+// property behind §2.3's guarantee ("the extracted term is guaranteed
+// (if the rewrites themselves are sound) to be equivalent to the input
+// term"): for every benchmark model, the extracted graph must compute
+// numerically identical outputs to the original on deterministic
+// pseudo-random inputs. This exercises every rewrite rule family, the
+// multi-pattern algorithm, cycle filtering, extraction, and the
+// reference interpreter together.
+func TestOptimizedGraphsComputeSameValues(t *testing.T) {
+	for _, m := range models.Benchmarks() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			g := m.Build(models.ScaleTest)
+			r := rewrite.NewRunner(Default())
+			r.Limits.KMulti = 1
+			r.Limits.MaxIters = 8
+			r.Limits.MaxNodes = 8000
+			ex, err := r.Run(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := extract.ILP(ex, cost.NewT4(), extract.ILPOptions{Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareOutputs(t, g, res.Graph)
+		})
+	}
+}
+
+// TestGreedyExtractionIsSound runs the same property through the
+// greedy extractor.
+func TestGreedyExtractionIsSound(t *testing.T) {
+	for _, name := range []string{"NasRNN", "SqueezeNet"} {
+		m, err := models.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := m.Build(models.ScaleTest)
+		r := rewrite.NewRunner(Default())
+		r.Limits.KMulti = 1
+		r.Limits.MaxIters = 6
+		r.Limits.MaxNodes = 6000
+		ex, err := r.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := extract.Greedy(ex, cost.NewT4())
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareOutputs(t, g, res.Graph)
+	}
+}
+
+// TestCycleConstrainedExtractionIsSound runs the property through the
+// unfiltered exploration + cycle-constrained ILP path.
+func TestCycleConstrainedExtractionIsSound(t *testing.T) {
+	m, err := models.ByName("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Build(models.ScaleTest)
+	r := rewrite.NewRunner(Default())
+	r.Filter = rewrite.FilterNone
+	r.Limits.KMulti = 1
+	r.Limits.MaxIters = 4
+	r.Limits.MaxNodes = 2000
+	ex, err := r.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := extract.ILP(ex, cost.NewT4(), extract.ILPOptions{
+		CycleConstraints: true, Timeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOutputs(t, g, res.Graph)
+}
+
+func compareOutputs(t *testing.T, orig, opt *tensor.Graph) {
+	t.Helper()
+	if len(orig.Outputs) != len(opt.Outputs) {
+		t.Fatalf("output count changed: %d -> %d", len(orig.Outputs), len(opt.Outputs))
+	}
+	a, err := tensor.NewEvaluator().EvalOutputs(orig)
+	if err != nil {
+		t.Fatalf("evaluating original: %v", err)
+	}
+	b, err := tensor.NewEvaluator().EvalOutputs(opt)
+	if err != nil {
+		t.Fatalf("evaluating optimized: %v", err)
+	}
+	for i := range a {
+		// Relative tolerance: rewrites reassociate long reductions, and
+		// magnitudes grow through matmul chains, so rounding drift is
+		// proportional to value size.
+		if d := a[i].MaxRelDiff(b[i]); d > 1e-8 {
+			t.Errorf("output %d differs by relative %v (shapes %v vs %v)",
+				i, d, a[i].Shape, b[i].Shape)
+		}
+	}
+}

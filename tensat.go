@@ -1,0 +1,256 @@
+// Package tensat is a Go implementation of TENSAT (Yang et al., MLSys
+// 2021): tensor computation graph superoptimization via equality
+// saturation. Instead of applying graph substitutions sequentially
+// (and suffering the phase-ordering problem), TENSAT applies all
+// rewrites simultaneously into an e-graph and extracts the globally
+// cheapest equivalent graph with an ILP.
+//
+// Quick start:
+//
+//	b := tensat.NewBuilder()
+//	x := b.Input("x", 64, 256)
+//	w1 := b.Weight("w1", 256, 256)
+//	w2 := b.Weight("w2", 256, 256)
+//	g := b.MustFinish(b.Matmul(tensat.ActNone, x, w1), b.Matmul(tensat.ActNone, x, w2))
+//	res, err := tensat.Optimize(g, tensat.DefaultOptions())
+//	// res.Graph now computes both outputs with one merged matmul.
+//
+// The root package re-exports the tensor IR (see the tensor aliases
+// below) and drives the internal packages: internal/egraph (the
+// e-graph substrate), internal/rewrite (exploration with multi-pattern
+// rewrites and cycle filtering), internal/rules (the TASO-style rule
+// set), internal/extract and internal/ilp (greedy and ILP extraction),
+// and internal/cost (the simulated device cost model).
+package tensat
+
+import (
+	"fmt"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/rewrite"
+	"tensat/internal/rules"
+	"tensat/internal/tensor"
+)
+
+// Re-exported tensor IR types, so library users only import tensat.
+type (
+	// Graph is a single-rooted tensor computation DAG.
+	Graph = tensor.Graph
+	// Node is a node of a tensor graph.
+	Node = tensor.Node
+	// Builder constructs shape-checked tensor graphs.
+	Builder = tensor.Builder
+	// Shape is a tensor shape.
+	Shape = tensor.Shape
+	// CostModel prices a single operator application.
+	CostModel = cost.Model
+	// Rule is a rewrite rule (single- or multi-pattern).
+	Rule = rewrite.Rule
+)
+
+// Activation and padding modes for Builder calls.
+const (
+	ActNone    = tensor.ActNone
+	ActSigmoid = tensor.ActSigmoid
+	ActRelu    = tensor.ActRelu
+	ActTanh    = tensor.ActTanh
+	PadSame    = tensor.PadSame
+	PadValid   = tensor.PadValid
+)
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return tensor.NewBuilder() }
+
+// DefaultCostModel returns the simulated T4 device model.
+func DefaultCostModel() CostModel { return cost.NewT4() }
+
+// RuntimeModel wraps a cost model with the deterministic measurement
+// deviations used as ground-truth "graph runtime" in the experiments.
+func RuntimeModel(base CostModel) CostModel { return cost.NewRuntime(base) }
+
+// DefaultRules returns the full TASO-style rule set (single- and
+// multi-pattern).
+func DefaultRules() []*Rule { return rules.Default() }
+
+// NewRule builds a single-pattern rewrite rule from S-expression
+// patterns, e.g. NewRule("fuse", "(relu (matmul 0 ?x ?y))", "(matmul 2 ?x ?y)").
+func NewRule(name, source, target string) (*Rule, error) {
+	return rewrite.NewRule(name, source, target)
+}
+
+// NewMultiRule builds a multi-pattern rule; sources and targets are
+// whitespace-separated pattern lists with pairwise matched outputs.
+func NewMultiRule(name, sources, targets string) (*Rule, error) {
+	return rewrite.NewMultiRule(name, sources, targets)
+}
+
+// Extractor selects the extraction algorithm (§5.1).
+type Extractor int
+
+const (
+	// ExtractILP uses the ILP formulation (the paper's full approach).
+	ExtractILP Extractor = iota
+	// ExtractGreedy uses per-class greedy selection.
+	ExtractGreedy
+)
+
+// CycleFilter selects the cycle handling strategy (§5.2).
+type CycleFilter int
+
+const (
+	// FilterEfficient is Algorithm 2 (default; enables ILP without
+	// cycle constraints).
+	FilterEfficient CycleFilter = iota
+	// FilterVanilla re-scans the e-graph before every substitution.
+	FilterVanilla
+	// FilterNone disables filtering; ILP extraction then uses the
+	// topological-order cycle constraints.
+	FilterNone
+)
+
+// Options configure Optimize. Zero values take the paper's defaults.
+type Options struct {
+	// Rules is the rewrite rule set; nil means DefaultRules.
+	Rules []*Rule
+	// CostModel prices operators; nil means DefaultCostModel.
+	CostModel CostModel
+	// NodeLimit bounds the e-graph size (paper: 50000).
+	NodeLimit int
+	// IterLimit bounds exploration iterations (paper: 15).
+	IterLimit int
+	// KMulti is the number of iterations multi-pattern rules fire
+	// (paper: 1; 2 for Inception-v3).
+	KMulti int
+	// ExploreTimeout bounds the exploration phase.
+	ExploreTimeout time.Duration
+	// Extractor selects ILP or greedy extraction.
+	Extractor Extractor
+	// CycleFilter selects the exploration cycle strategy.
+	CycleFilter CycleFilter
+	// ILPTimeout bounds the ILP solver (paper: 1 hour).
+	ILPTimeout time.Duration
+	// TopoInt uses integer topological variables when CycleFilter is
+	// FilterNone (Table 5's "int" column).
+	TopoInt bool
+}
+
+// DefaultOptions mirrors the paper's experimental setup (§6.1).
+func DefaultOptions() Options {
+	return Options{
+		NodeLimit:  50000,
+		IterLimit:  15,
+		KMulti:     1,
+		ILPTimeout: time.Hour,
+	}
+}
+
+// Result reports an optimization run.
+type Result struct {
+	// Graph is the optimized graph.
+	Graph *Graph
+	// OrigCost and OptCost are graph costs under the optimizer's model.
+	OrigCost, OptCost float64
+	// SpeedupPercent is (OrigCost/OptCost - 1) * 100.
+	SpeedupPercent float64
+	// ExploreTime and ExtractTime split the optimization time
+	// (Table 3's breakdown).
+	ExploreTime, ExtractTime time.Duration
+	// ENodes and EClasses are final e-graph sizes; Iterations counts
+	// exploration rounds; Saturated is true if the e-graph saturated.
+	ENodes, EClasses, Iterations int
+	Saturated                    bool
+	// FilteredNodes counts e-nodes removed by cycle filtering.
+	FilteredNodes int
+	// ILPOptimal is true when ILP extraction proved optimality.
+	ILPOptimal bool
+}
+
+// Optimize runs the full TENSAT pipeline on g: exploration by equality
+// saturation, then extraction.
+func Optimize(g *Graph, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tensat: nil graph")
+	}
+	ruleset := opt.Rules
+	if ruleset == nil {
+		ruleset = rules.Default()
+	}
+	model := opt.CostModel
+	if model == nil {
+		model = cost.NewT4()
+	}
+	def := DefaultOptions()
+	if opt.NodeLimit == 0 {
+		opt.NodeLimit = def.NodeLimit
+	}
+	if opt.IterLimit == 0 {
+		opt.IterLimit = def.IterLimit
+	}
+	if opt.ILPTimeout == 0 {
+		opt.ILPTimeout = def.ILPTimeout
+	}
+
+	runner := rewrite.NewRunner(ruleset)
+	runner.Limits = rewrite.Limits{
+		MaxNodes: opt.NodeLimit,
+		MaxIters: opt.IterLimit,
+		KMulti:   opt.KMulti,
+		Timeout:  opt.ExploreTimeout,
+	}
+	switch opt.CycleFilter {
+	case FilterVanilla:
+		runner.Filter = rewrite.FilterVanilla
+	case FilterNone:
+		runner.Filter = rewrite.FilterNone
+	default:
+		runner.Filter = rewrite.FilterEfficient
+	}
+	ex, err := runner.Run(g)
+	if err != nil {
+		return nil, err
+	}
+
+	var res *extract.Result
+	switch opt.Extractor {
+	case ExtractGreedy:
+		res, err = extract.Greedy(ex, model)
+	default:
+		topo := ilp.TopoReal
+		if opt.TopoInt {
+			topo = ilp.TopoInt
+		}
+		res, err = extract.ILP(ex, model, extract.ILPOptions{
+			CycleConstraints: opt.CycleFilter == FilterNone,
+			TopoMode:         topo,
+			Timeout:          opt.ILPTimeout,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	orig := cost.GraphCost(model, g)
+	out := &Result{
+		Graph:          res.Graph,
+		OrigCost:       orig,
+		OptCost:        res.Cost,
+		SpeedupPercent: cost.SpeedupPercent(orig, res.Cost),
+		ExploreTime:    ex.Stats.ExploreTime,
+		ExtractTime:    res.Time,
+		ENodes:         ex.Stats.ENodes,
+		EClasses:       ex.Stats.EClasses,
+		Iterations:     ex.Stats.Iterations,
+		Saturated:      ex.Stats.Saturated,
+		FilteredNodes:  ex.Stats.FilteredNodes,
+	}
+	if res.ILP != nil {
+		out.ILPOptimal = res.ILP.Optimal
+	}
+	return out, nil
+}
+
+// GraphCost sums the model cost over the distinct nodes of g.
+func GraphCost(m CostModel, g *Graph) float64 { return cost.GraphCost(m, g) }
