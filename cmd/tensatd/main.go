@@ -1,0 +1,91 @@
+// Command tensatd serves TENSAT graph optimization over HTTP+JSON.
+//
+// Endpoints:
+//
+//	POST /optimize — optimize a graph sent in the textual wire format
+//	GET  /stats    — cache/latency counters
+//	GET  /healthz  — liveness probe
+//
+// Quick start:
+//
+//	tensatd -addr :8080 &
+//	curl -s localhost:8080/optimize -d '{
+//	  "graph": "(output (matmul 0 (input \"x@64 256\") (weight \"w1@256 256\")))\n(output (matmul 0 (input \"x@64 256\") (weight \"w2@256 256\")))",
+//	  "options": {"extractor": "ilp"}
+//	}'
+//
+// Structurally identical graphs — whatever their input names or node
+// order — share one cache entry; repeat the request to see
+// "cached": true.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tensat"
+	"tensat/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tensatd: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrent optimizations (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 256, "result cache capacity (entries)")
+		nodeLimit = flag.Int("nodelimit", 20000, "default e-graph node limit (N_max)")
+		iters     = flag.Int("iters", 15, "default exploration iteration limit (k_max)")
+		kmulti    = flag.Int("kmulti", 1, "default multi-pattern iterations (k_multi)")
+		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
+	)
+	flag.Parse()
+
+	base := tensat.DefaultOptions()
+	base.NodeLimit = *nodeLimit
+	base.IterLimit = *iters
+	base.KMulti = *kmulti
+	base.ILPTimeout = *ilpTime
+
+	svc := serve.New(serve.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Base:      base,
+	})
+
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewHandler(svc),
+		// Optimizations can legitimately run for minutes; only bound
+		// header reads so stuck clients cannot pin connections.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (workers=%d, cache=%d)", *addr, svc.Workers(), *cacheSize)
+		errc <- server.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -46,9 +47,18 @@ func nodeCost(g *egraph.EGraph, m cost.Model, n egraph.Node) float64 {
 // notes, this ignores subgraph sharing and can miss (or mis-rank)
 // graphs whose benefit comes from reuse — see Table 4.
 func Greedy(ex *rewrite.Explored, model cost.Model) (*Result, error) {
+	return GreedyContext(context.Background(), ex, model)
+}
+
+// GreedyContext is Greedy with cancellation: the fixpoint checks ctx
+// between sweeps and aborts with ctx.Err() when the request is dead.
+func GreedyContext(ctx context.Context, ex *rewrite.Explored, model cost.Model) (*Result, error) {
 	start := time.Now()
 	g := ex.G
-	picks := greedySelect(ex, model)
+	picks, err := greedySelectCtx(ctx, ex, model)
+	if err != nil {
+		return nil, err
+	}
 
 	root := g.Find(ex.Root)
 	if picks[root] < 0 {
@@ -78,6 +88,14 @@ func Greedy(ex *rewrite.Explored, model cost.Model) (*Result, error) {
 // Class.Nodes (-1 when the class has no finite derivation). Shared by
 // Greedy and by ILP's warm start.
 func greedySelect(ex *rewrite.Explored, model cost.Model) map[egraph.ClassID]int {
+	picks, _ := greedySelectCtx(context.Background(), ex, model)
+	return picks
+}
+
+// greedySelectCtx is greedySelect with a cancellation check between
+// fixpoint sweeps (each sweep is a single pass over the e-graph, so
+// cancellation latency is one sweep).
+func greedySelectCtx(ctx context.Context, ex *rewrite.Explored, model cost.Model) (map[egraph.ClassID]int, error) {
 	g := ex.G
 	picks := make(map[egraph.ClassID]int)
 	classCost := make(map[egraph.ClassID]float64)
@@ -92,6 +110,9 @@ func greedySelect(ex *rewrite.Explored, model cost.Model) map[egraph.ClassID]int
 	// only decrease and every finite value stems from an acyclic
 	// derivation, of which there are finitely many).
 	for changed := true; changed; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, cls := range classes {
 			for i, n := range cls.Nodes {
@@ -110,7 +131,7 @@ func greedySelect(ex *rewrite.Explored, model cost.Model) map[egraph.ClassID]int
 			}
 		}
 	}
-	return picks
+	return picks, nil
 }
 
 // originalSelect recovers the input graph as a selection: per class,
@@ -159,6 +180,13 @@ const DefaultStallLimit = 2_000_000
 // filtering the cycle constraints can be dropped, which is the paper's
 // key scalability lever (Table 5); filtered nodes become x_i = 0.
 func ILP(ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, error) {
+	return ILPContext(context.Background(), ex, model, opts)
+}
+
+// ILPContext is ILP with cancellation: the branch-and-bound treats a
+// done context like an expired deadline (best incumbent, or ErrTimeout
+// with none), so a canceled request stops promptly.
+func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, error) {
 	start := time.Now()
 	g := ex.G
 
@@ -249,7 +277,7 @@ func ILP(ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, erro
 		p.WarmStarts = append(p.WarmStarts, toWarm(orig))
 	}
 
-	sol, err := ilp.Solve(p)
+	sol, err := ilp.SolveContext(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("extract: ilp: %w", err)
 	}

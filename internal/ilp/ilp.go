@@ -23,6 +23,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,6 +92,9 @@ type Solution struct {
 	// timeout or stall, in which case the incumbent (if any) is returned.
 	Optimal  bool
 	TimedOut bool
+	// Canceled is true when the caller's context ended the search; the
+	// incumbent (if any) is still returned, like a timeout.
+	Canceled bool
 	// Stalled is true when StallLimit ended the search.
 	Stalled bool
 	// Explored counts branch-and-bound node expansions.
@@ -138,6 +142,8 @@ type solver struct {
 	p           *Problem
 	deadline    time.Time
 	hasDeadline bool
+	done        <-chan struct{} // caller cancellation; nil means none
+	canceled    bool
 
 	allowed  [][]int   // per class: allowed (unforbidden) nodes, cheap first
 	minCost  []float64 // per class: cheapest allowed node cost
@@ -164,11 +170,22 @@ type solver struct {
 
 // Solve runs branch-and-bound and returns the best selection.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cancellation: when ctx is done the search
+// stops at the next check point and the incumbent (if any) is returned
+// with Canceled set, exactly like a timeout; with no incumbent it
+// returns ErrTimeout.
+func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	s := &solver{p: p}
+	s := &solver{p: p, done: ctx.Done()}
 	if p.Timeout > 0 {
 		s.deadline = start.Add(p.Timeout)
 		s.hasDeadline = true
@@ -243,6 +260,7 @@ func Solve(p *Problem) (*Solution, error) {
 	sol := &Solution{
 		Optimal:        !s.timedOut && !s.stalled,
 		TimedOut:       s.timedOut,
+		Canceled:       s.canceled,
 		Stalled:        s.stalled,
 		Explored:       s.explored,
 		Time:           time.Since(start),
@@ -448,9 +466,18 @@ func (s *solver) branch(pending []int, bound float64) {
 	if s.timedOut || s.stalled {
 		return
 	}
-	if s.hasDeadline && s.explored%512 == 0 && time.Now().After(s.deadline) {
-		s.timedOut = true
-		return
+	if s.explored%512 == 0 {
+		if s.hasDeadline && time.Now().After(s.deadline) {
+			s.timedOut = true
+			return
+		}
+		select {
+		case <-s.done:
+			s.timedOut = true
+			s.canceled = true
+			return
+		default:
+		}
 	}
 	// The stall limit applies even before a first incumbent exists
 	// (with a grace factor), so a search that cannot find any feasible

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"time"
 
 	"tensat/internal/egraph"
@@ -56,13 +57,14 @@ type Stats struct {
 	HitNodeLimit  bool
 	HitIterLimit  bool
 	HitTimeout    bool
-	Matches       int // candidate substitutions found
-	Applied       int // substitutions applied
-	SkippedShape  int // substitutions rejected by shape checking
-	SkippedCycle  int // substitutions rejected by the pre-filter
-	FilteredNodes int // e-nodes put on the filter list by post-processing
-	ENodes        int // final e-node count
-	EClasses      int // final e-class count
+	Canceled      bool // the caller's context was canceled mid-exploration
+	Matches       int  // candidate substitutions found
+	Applied       int  // substitutions applied
+	SkippedShape  int  // substitutions rejected by shape checking
+	SkippedCycle  int  // substitutions rejected by the pre-filter
+	FilteredNodes int  // e-nodes put on the filter list by post-processing
+	ENodes        int  // final e-node count
+	EClasses      int  // final e-class count
 	ExploreTime   time.Duration
 }
 
@@ -108,12 +110,25 @@ type sourceRef struct {
 
 // Run explores the e-graph of t until saturation or limits.
 func (r *Runner) Run(t *tensor.Graph) (*Explored, error) {
+	return r.RunContext(context.Background(), t)
+}
+
+// RunContext is Run with cancellation: when ctx is done, exploration
+// stops at the next check point exactly as if Limits.Timeout had
+// expired (Stats.Canceled is set), and the partial e-graph is returned.
+// Deciding whether a canceled request should still be extracted is the
+// caller's business (tensat.OptimizeContext aborts; an anytime caller
+// may extract what it has).
+func (r *Runner) RunContext(ctx context.Context, t *tensor.Graph) (*Explored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g, root, _, err := Ingest(t)
 	if err != nil {
 		return nil, err
 	}
 	ex := &Explored{G: g, Root: root, Filtered: make(FilterSet), IngestStamp: g.Stamp()}
-	r.explore(ex)
+	r.explore(ex, ctx.Done())
 	return ex, nil
 }
 
@@ -121,11 +136,11 @@ func (r *Runner) Run(t *tensor.Graph) (*Explored, error) {
 // incremental experiment harness).
 func (r *Runner) RunOnEGraph(g *egraph.EGraph, root egraph.ClassID) *Explored {
 	ex := &Explored{G: g, Root: root, Filtered: make(FilterSet), IngestStamp: g.Stamp()}
-	r.explore(ex)
+	r.explore(ex, nil)
 	return ex
 }
 
-func (r *Runner) explore(ex *Explored) {
+func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 	start := time.Now()
 	g := ex.G
 	lim := r.Limits
@@ -164,12 +179,16 @@ func (r *Runner) explore(ex *Explored) {
 			ex.Stats.HitNodeLimit = true
 			break
 		}
+		if stopped(done) {
+			ex.Stats.Canceled = true
+			break
+		}
 		if time.Now().After(deadline) {
 			ex.Stats.HitTimeout = true
 			break
 		}
 		useMulti := iter < lim.KMulti
-		changed := r.iterate(ex, canon, refs, useMulti, lim, deadline)
+		changed := r.iterate(ex, canon, refs, useMulti, lim, deadline, done)
 		ex.Stats.Iterations++
 		if !changed {
 			ex.Stats.Saturated = true
@@ -186,11 +205,23 @@ func (r *Runner) explore(ex *Explored) {
 	ex.Stats.ExploreTime = time.Since(start)
 }
 
+// stopped reports whether the cancellation channel has fired; a nil
+// channel (no context) never stops.
+func stopped(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // iterate runs one exploration iteration: search all canonical
 // patterns, then apply all rule matches (Algorithm 1, lines 9-22),
 // then rebuild and post-process cycles (Algorithm 2, lines 10-18).
 func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
-	refs map[*Rule][]sourceRef, useMulti bool, lim Limits, deadline time.Time) bool {
+	refs map[*Rule][]sourceRef, useMulti bool, lim Limits, deadline time.Time,
+	done <-chan struct{}) bool {
 
 	g := ex.G
 	nodesBefore := g.NodeCount()
@@ -258,7 +289,10 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 		if rule.IsMulti() && !useMulti {
 			continue
 		}
-		if g.NodeCount() >= lim.MaxNodes || time.Now().After(deadline) {
+		if g.NodeCount() >= lim.MaxNodes || time.Now().After(deadline) || stopped(done) {
+			if stopped(done) {
+				ex.Stats.Canceled = true
+			}
 			break
 		}
 		rrefs := refs[rule]
@@ -276,7 +310,7 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 		// Multi-pattern: cartesian product of decanonicalized matches,
 		// keeping only combinations compatible on shared variables
 		// (Algorithm 1, lines 11-21).
-		r.applyMulti(ex, rule, rrefs, apply, lim, deadline)
+		r.applyMulti(ex, rule, rrefs, apply, lim, deadline, done)
 	}
 
 	g.Rebuild()
@@ -290,7 +324,8 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 // applyMulti enumerates compatible match combinations for a
 // multi-pattern rule via backtracking over the per-source match lists.
 func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
-	apply func(*Rule, []egraph.ClassID, pattern.Subst), lim Limits, deadline time.Time) {
+	apply func(*Rule, []egraph.ClassID, pattern.Subst), lim Limits, deadline time.Time,
+	done <-chan struct{}) {
 
 	g := ex.G
 	matched := make([]egraph.ClassID, len(rrefs))
@@ -300,7 +335,7 @@ func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
 		if g.NodeCount() >= lim.MaxNodes {
 			return
 		}
-		if applied++; applied%256 == 0 && time.Now().After(deadline) {
+		if applied++; applied%256 == 0 && (time.Now().After(deadline) || stopped(done)) {
 			return
 		}
 		if i == len(rrefs) {

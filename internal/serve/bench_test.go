@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"tensat"
+)
+
+// The cold-vs-cached benchmark pair quantifies what the result cache
+// buys: BenchmarkOptimizeCold re-optimizes the figure-2 graph from
+// scratch every iteration (fresh service, empty cache), while
+// BenchmarkOptimizeCached serves every iteration from the LRU. When
+// both have run (go test -bench=Optimize ./internal/serve/), TestMain
+// writes a BENCH_serve.json summary next to the package so CI can
+// track the cached-vs-cold ratio over time.
+
+var benchSummary = struct {
+	Benchmark     string  `json:"benchmark"`
+	ColdNsPerOp   float64 `json:"cold_ns_per_op"`
+	CachedNsPerOp float64 `json:"cached_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}{Benchmark: "serve-cold-vs-cached"}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchSummary.ColdNsPerOp > 0 && benchSummary.CachedNsPerOp > 0 {
+		benchSummary.Speedup = benchSummary.ColdNsPerOp / benchSummary.CachedNsPerOp
+		if data, err := json.MarshalIndent(benchSummary, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+func benchGraph(b *testing.B) *tensat.Graph {
+	b.Helper()
+	bld := tensat.NewBuilder()
+	x := bld.Input("x", 64, 256)
+	w1 := bld.Weight("w1", 256, 256)
+	w2 := bld.Weight("w2", 256, 256)
+	g, err := bld.Finish(bld.Matmul(tensat.ActNone, x, w1), bld.Matmul(tensat.ActNone, x, w2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkOptimizeCold(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Workers: 1, Base: fastOptions()})
+		if _, err := s.Optimize(context.Background(), g, RequestOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	benchSummary.ColdNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}
+
+func BenchmarkOptimizeCached(b *testing.B) {
+	g := benchGraph(b)
+	s := New(Config{Workers: 1, Base: fastOptions()})
+	if _, err := s.Optimize(context.Background(), g, RequestOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Optimize(context.Background(), g, RequestOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("iteration missed the cache")
+		}
+	}
+	b.StopTimer()
+	benchSummary.CachedNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tensat/internal/tensor"
+)
+
+// OptimizeRequest is the body of POST /optimize: the graph in the
+// textual wire format of tensor.Graph.MarshalText, the optimization
+// knobs, and an optional whole-request deadline.
+type OptimizeRequest struct {
+	// Graph is the graph in the S-expression wire format, e.g.
+	// "(output (matmul 0 (input \"x@64 256\") (weight \"w@256 256\")))".
+	Graph string `json:"graph"`
+	// Options refine the server's base configuration.
+	Options RequestOptions `json:"options"`
+	// TimeoutMS bounds the whole request (queueing + optimization);
+	// zero means no per-request deadline beyond the server's.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeReply is the body answering POST /optimize.
+type OptimizeReply struct {
+	Fingerprint    string  `json:"fingerprint"`
+	Cached         bool    `json:"cached"`
+	Deduped        bool    `json:"deduped"`
+	Graph          string  `json:"graph"`
+	OrigCost       float64 `json:"orig_cost"`
+	OptCost        float64 `json:"opt_cost"`
+	SpeedupPercent float64 `json:"speedup_percent"`
+	ExploreMS      float64 `json:"explore_ms"`
+	ExtractMS      float64 `json:"extract_ms"`
+	ENodes         int     `json:"enodes"`
+	EClasses       int     `json:"eclasses"`
+	Iterations     int     `json:"iterations"`
+	Saturated      bool    `json:"saturated"`
+	ILPOptimal     bool    `json:"ilp_optimal"`
+}
+
+// StatsReply is the body answering GET /stats.
+type StatsReply struct {
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	Deduped      uint64  `json:"deduped"`
+	Completed    uint64  `json:"completed"`
+	Errors       uint64  `json:"errors"`
+	Canceled     uint64  `json:"canceled"`
+	InFlight     int     `json:"in_flight"`
+	CacheEntries int     `json:"cache_entries"`
+	Workers      int     `json:"workers"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes s over HTTP+JSON:
+//
+//	POST /optimize — optimize a graph (OptimizeRequest → OptimizeReply)
+//	GET  /stats    — service counters (StatsReply)
+//	GET  /healthz  — liveness probe
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
+		handleOptimize(s, w, r)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		writeJSON(w, http.StatusOK, StatsReply{
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			Deduped:      st.Deduped,
+			Completed:    st.Completed,
+			Errors:       st.Errors,
+			Canceled:     st.Canceled,
+			InFlight:     st.InFlight,
+			CacheEntries: st.CacheEntries,
+			Workers:      s.Workers(),
+			P50MS:        float64(st.P50) / float64(time.Millisecond),
+			P95MS:        float64(st.P95) / float64(time.Millisecond),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Graph == "" {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "missing graph"})
+		return
+	}
+	g, err := tensor.UnmarshalGraph([]byte(req.Graph))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad graph: " + err.Error()})
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	resp, err := s.Optimize(ctx, g, req.Options)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrBadOptions):
+			status = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// Client went away mid-request; the reply is best-effort.
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorReply{Error: err.Error()})
+		return
+	}
+	text, err := resp.Result.Graph.MarshalText()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})
+		return
+	}
+	res := resp.Result
+	writeJSON(w, http.StatusOK, OptimizeReply{
+		Fingerprint:    resp.Fingerprint,
+		Cached:         resp.Cached,
+		Deduped:        resp.Deduped,
+		Graph:          string(text),
+		OrigCost:       res.OrigCost,
+		OptCost:        res.OptCost,
+		SpeedupPercent: res.SpeedupPercent,
+		ExploreMS:      float64(res.ExploreTime) / float64(time.Millisecond),
+		ExtractMS:      float64(res.ExtractTime) / float64(time.Millisecond),
+		ENodes:         res.ENodes,
+		EClasses:       res.EClasses,
+		Iterations:     res.Iterations,
+		Saturated:      res.Saturated,
+		ILPOptimal:     res.ILPOptimal,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

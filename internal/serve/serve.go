@@ -1,0 +1,308 @@
+// Package serve wraps the TENSAT optimization pipeline in a concurrent
+// service suitable for a daemon (cmd/tensatd): structurally identical
+// graphs are recognized by canonical content hashing
+// (internal/fingerprint), finished results are held in an LRU cache
+// keyed by fingerprint+options, identical in-flight requests are
+// deduplicated onto one optimization run (reference-counted
+// singleflight), and runs execute on a bounded worker pool with
+// per-request context propagation down into exploration and
+// extraction. Stats exposes hit/miss/dedup counters, in-flight load,
+// and p50/p95 cold latencies.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tensat"
+	"tensat/internal/fingerprint"
+	"tensat/internal/tensor"
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Workers bounds concurrently running optimizations; 0 means
+	// GOMAXPROCS. Requests beyond the bound queue for a slot.
+	Workers int
+	// CacheSize is the LRU capacity in results; 0 means 256.
+	CacheSize int
+	// Base is the option template requests refine. Its zero value
+	// means tensat.DefaultOptions. Rules and CostModel are service-wide
+	// (they are code, not wire data) — requests can only vary the
+	// scalar knobs in RequestOptions.
+	Base tensat.Options
+}
+
+// Service is a concurrent graph-optimization service.
+type Service struct {
+	cfg    Config
+	sem    chan struct{}
+	cache  *lruCache
+	flight *flightGroup
+	stats  collector
+
+	// optimize is tensat.OptimizeContext, injectable by tests to model
+	// slow, blocking, or failing optimizations deterministically.
+	optimize func(context.Context, *tensat.Graph, tensat.Options) (*tensat.Result, error)
+}
+
+// New builds a Service from cfg.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if isZeroOptions(cfg.Base) {
+		cfg.Base = tensat.DefaultOptions()
+	}
+	return &Service{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		cache:    newLRUCache(cfg.CacheSize),
+		flight:   newFlightGroup(),
+		optimize: tensat.OptimizeContext,
+	}
+}
+
+func isZeroOptions(o tensat.Options) bool {
+	return o.Rules == nil && o.CostModel == nil && o.NodeLimit == 0 &&
+		o.IterLimit == 0 && o.KMulti == 0 && o.ExploreTimeout == 0 &&
+		o.ILPTimeout == 0 && o.Extractor == tensat.ExtractILP &&
+		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt
+}
+
+// RequestOptions are the per-request optimization knobs. The zero
+// value inherits every setting from the service's Config.Base. Field
+// names double as the HTTP JSON schema of POST /optimize.
+type RequestOptions struct {
+	NodeLimit int `json:"node_limit,omitempty"`
+	IterLimit int `json:"iter_limit,omitempty"`
+	KMulti    int `json:"k_multi,omitempty"`
+	// Extractor is "ilp" or "greedy" ("" inherits).
+	Extractor string `json:"extractor,omitempty"`
+	// CycleFilter is "efficient", "vanilla" or "none" ("" inherits).
+	CycleFilter string `json:"cycle_filter,omitempty"`
+	TopoInt     bool   `json:"topo_int,omitempty"`
+	// ExploreTimeoutMS soft-bounds exploration; ILPTimeoutMS bounds the
+	// ILP solver. Zero inherits.
+	ExploreTimeoutMS int64 `json:"explore_timeout_ms,omitempty"`
+	ILPTimeoutMS     int64 `json:"ilp_timeout_ms,omitempty"`
+}
+
+// ErrBadOptions marks RequestOptions validation failures, so transport
+// layers can classify them as client errors.
+var ErrBadOptions = errors.New("serve: bad request options")
+
+// apply refines base with the request's non-zero knobs.
+func (ro RequestOptions) apply(base tensat.Options) (tensat.Options, error) {
+	o := base
+	if ro.NodeLimit > 0 {
+		o.NodeLimit = ro.NodeLimit
+	}
+	if ro.IterLimit > 0 {
+		o.IterLimit = ro.IterLimit
+	}
+	if ro.KMulti > 0 {
+		o.KMulti = ro.KMulti
+	}
+	switch ro.Extractor {
+	case "":
+	case "ilp":
+		o.Extractor = tensat.ExtractILP
+	case "greedy":
+		o.Extractor = tensat.ExtractGreedy
+	default:
+		return o, fmt.Errorf("%w: unknown extractor %q", ErrBadOptions, ro.Extractor)
+	}
+	switch ro.CycleFilter {
+	case "":
+	case "efficient":
+		o.CycleFilter = tensat.FilterEfficient
+	case "vanilla":
+		o.CycleFilter = tensat.FilterVanilla
+	case "none":
+		o.CycleFilter = tensat.FilterNone
+	default:
+		return o, fmt.Errorf("%w: unknown cycle filter %q", ErrBadOptions, ro.CycleFilter)
+	}
+	if ro.TopoInt {
+		o.TopoInt = true
+	}
+	if ro.ExploreTimeoutMS > 0 {
+		o.ExploreTimeout = time.Duration(ro.ExploreTimeoutMS) * time.Millisecond
+	}
+	if ro.ILPTimeoutMS > 0 {
+		o.ILPTimeout = time.Duration(ro.ILPTimeoutMS) * time.Millisecond
+	}
+	return o, nil
+}
+
+// optionsKey canonically encodes the *effective* (post-apply) knobs
+// that influence the result, so requests that resolve to the same
+// configuration — e.g. one inheriting the server default and one
+// spelling it out — share a cache entry and a singleflight run.
+func optionsKey(o tensat.Options) string {
+	var b strings.Builder
+	for _, v := range []int{o.NodeLimit, o.IterLimit, o.KMulti,
+		int(o.Extractor), int(o.CycleFilter)} {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte('|')
+	}
+	if o.TopoInt {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	// Timeouts influence how much optimization a result got, so two
+	// requests differing only in budget are distinct cache entries.
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(o.ExploreTimeout), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(o.ILPTimeout), 10))
+	return b.String()
+}
+
+// cachedResult is a finished optimization plus the tensor vocabulary
+// of the graph that produced it (canonical first-occurrence order), so
+// later structurally identical requests can receive the result spelled
+// in their own input/weight names.
+type cachedResult struct {
+	res     *tensat.Result
+	tensors []string
+}
+
+// inVocabulary translates the cached result into the requester's
+// tensor names. Identical vocabularies share the original result.
+func (cr *cachedResult) inVocabulary(names []string) (*tensat.Result, error) {
+	if len(names) != len(cr.tensors) {
+		// Equal fingerprints imply equal tensor counts; never expected.
+		return cr.res, nil
+	}
+	mapping := make(map[string]string)
+	for i, from := range cr.tensors {
+		if from != names[i] {
+			mapping[from] = names[i]
+		}
+	}
+	if len(mapping) == 0 {
+		return cr.res, nil
+	}
+	renamed, err := tensor.RenameTensors(cr.res.Graph, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("serve: translating cached result: %w", err)
+	}
+	out := *cr.res
+	out.Graph = renamed
+	return &out, nil
+}
+
+// Response is one answered optimization request.
+type Response struct {
+	// Result is the optimization outcome (shared, treat as read-only).
+	Result *tensat.Result
+	// Fingerprint is the canonical content hash of the request graph.
+	Fingerprint string
+	// Cached is true when the answer came from the result cache;
+	// Deduped is true when this request joined an in-flight identical
+	// run instead of starting its own.
+	Cached  bool
+	Deduped bool
+}
+
+// Optimize answers one request: cache lookup, then singleflight join
+// or a fresh run on the worker pool. Canceling ctx returns promptly
+// with ctx.Err() — the shared run keeps going while any other request
+// still wants it, and an abandoned or failed run is never cached.
+func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptions) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts, err := ro.apply(s.cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := fingerprint.GraphHex(g)
+	if err != nil {
+		return nil, err
+	}
+	names, err := fingerprint.Tensors(g)
+	if err != nil {
+		return nil, err
+	}
+	key := fp + "|" + optionsKey(opts)
+
+	if entry, ok := s.cache.get(key); ok {
+		s.stats.hit()
+		res, err := entry.inVocabulary(names)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Result: res, Fingerprint: fp, Cached: true}, nil
+	}
+	s.stats.miss()
+
+	c, leader := s.flight.join(key)
+	if leader {
+		c.tensors = names // published to followers by close(c.done)
+		go s.run(key, c, g, opts)
+	} else {
+		s.stats.dedup()
+	}
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		// A follower's graph may spell the tensors differently than the
+		// leader's; answer in the follower's vocabulary.
+		res, err := (&cachedResult{res: c.res, tensors: c.tensors}).inVocabulary(names)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Result: res, Fingerprint: fp, Deduped: !leader}, nil
+	case <-ctx.Done():
+		s.flight.leave(key, c)
+		s.stats.cancel()
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one deduplicated optimization on the worker pool under
+// the flight call's reference-counted context.
+func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Options) {
+	// Acquire a worker slot; bail out if every interested request is
+	// gone before one frees up.
+	select {
+	case s.sem <- struct{}{}:
+	case <-c.ctx.Done():
+		s.flight.finish(key, c, nil, c.ctx.Err())
+		return
+	}
+	defer func() { <-s.sem }()
+
+	s.stats.startWork()
+	start := time.Now()
+	res, err := s.optimize(c.ctx, g, opts)
+	s.stats.endWork(time.Since(start), err)
+	if err == nil {
+		s.cache.add(key, &cachedResult{res: res, tensors: c.tensors})
+	}
+	s.flight.finish(key, c, res, err)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := s.stats.snapshot()
+	st.CacheEntries = s.cache.len()
+	return st
+}
+
+// Workers reports the configured worker-pool bound.
+func (s *Service) Workers() int { return s.cfg.Workers }

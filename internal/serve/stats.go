@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	// Hits counts requests answered from the result cache; Misses
+	// counts requests that had to consult the flight group (of which
+	// Deduped joined an already-running identical optimization).
+	Hits, Misses, Deduped uint64
+	// Completed and Errors count finished optimization runs; Canceled
+	// counts requests abandoned by their callers.
+	Completed, Errors, Canceled uint64
+	// InFlight is the number of optimizations currently holding a
+	// worker slot; CacheEntries is the current LRU population.
+	InFlight     int
+	CacheEntries int
+	// P50 and P95 are percentiles over the most recent cold (uncached)
+	// optimization latencies; zero until the first run completes.
+	P50, P95 time.Duration
+}
+
+// latencyWindow is how many recent cold latencies feed the percentiles.
+const latencyWindow = 512
+
+// collector accumulates counters and a sliding latency window.
+type collector struct {
+	mu        sync.Mutex
+	hits      uint64
+	misses    uint64
+	deduped   uint64
+	completed uint64
+	errors    uint64
+	canceled  uint64
+	inFlight  int
+	ring      [latencyWindow]time.Duration
+	ringN     int // total latencies ever recorded
+}
+
+func (c *collector) hit()    { c.mu.Lock(); c.hits++; c.mu.Unlock() }
+func (c *collector) miss()   { c.mu.Lock(); c.misses++; c.mu.Unlock() }
+func (c *collector) dedup()  { c.mu.Lock(); c.deduped++; c.mu.Unlock() }
+func (c *collector) cancel() { c.mu.Lock(); c.canceled++; c.mu.Unlock() }
+
+func (c *collector) startWork() { c.mu.Lock(); c.inFlight++; c.mu.Unlock() }
+
+func (c *collector) endWork(d time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inFlight--
+	switch {
+	case err == nil:
+		c.completed++
+		c.ring[c.ringN%latencyWindow] = d
+		c.ringN++
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// A run abandoned by its waiters (or out of request budget) is
+		// client churn, not a server failure; the per-request Canceled
+		// counter already recorded each abandoning caller.
+	default:
+		c.errors++
+	}
+}
+
+// snapshot computes the current Stats (percentiles over the window).
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Deduped:   c.deduped,
+		Completed: c.completed,
+		Errors:    c.errors,
+		Canceled:  c.canceled,
+		InFlight:  c.inFlight,
+	}
+	n := c.ringN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, c.ring[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.P50 = window[n/2]
+		s.P95 = window[(n*95)/100]
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package tensor
+
+import "fmt"
+
+// RenameTensors returns a graph equal to g with input/weight names
+// substituted per mapping (old name → new name). Unmapped identifiers
+// keep their names. Structure, shapes and sharing are preserved:
+// subtrees that contain no renamed tensor are shared with g unchanged,
+// and Meta pointers are reused throughout (names are not part of
+// Meta). The optimization service uses this to answer a cache hit in
+// the requester's tensor vocabulary rather than the original
+// submitter's.
+func RenameTensors(g *Graph, mapping map[string]string) (*Graph, error) {
+	if g == nil || g.Root == nil {
+		return nil, fmt.Errorf("tensor: nil graph")
+	}
+	if len(mapping) == 0 {
+		return g, nil
+	}
+	memo := make(map[*Node]*Node)
+	var clone func(n *Node) (*Node, error)
+	clone = func(n *Node) (*Node, error) {
+		if c, ok := memo[n]; ok {
+			return c, nil
+		}
+		out := n
+		switch n.Op {
+		case OpInput, OpWeight:
+			name, shape, err := ParseIdent(n.Str)
+			if err != nil {
+				return nil, err
+			}
+			if to, ok := mapping[name]; ok && to != name {
+				out = &Node{Op: n.Op, Str: Ident(to, shape), Meta: n.Meta}
+			}
+		default:
+			changed := false
+			inputs := make([]*Node, len(n.Inputs))
+			for i, in := range n.Inputs {
+				c, err := clone(in)
+				if err != nil {
+					return nil, err
+				}
+				inputs[i] = c
+				changed = changed || c != in
+			}
+			if changed {
+				out = &Node{Op: n.Op, Int: n.Int, Str: n.Str, Inputs: inputs, Meta: n.Meta}
+			}
+		}
+		memo[n] = out
+		return out, nil
+	}
+	root, err := clone(g.Root)
+	if err != nil {
+		return nil, err
+	}
+	if root == g.Root {
+		return g, nil
+	}
+	outputs := make([]*Node, len(g.Outputs))
+	for i, o := range g.Outputs {
+		if outputs[i], err = clone(o); err != nil {
+			return nil, err
+		}
+	}
+	return &Graph{Root: root, Outputs: outputs}, nil
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenameTensors(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x", 8, 8)
+	w := b.Weight("w", 8, 8)
+	g, err := b.Finish(b.Relu(b.Matmul(ActNone, x, w)), b.Tanh(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenameTensors(g, map[string]string{"x": "act", "w": "kernel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `"act@8 8"`) || !strings.Contains(s, `"kernel@8 8"`) {
+		t.Fatalf("names not substituted:\n%s", s)
+	}
+	if strings.Contains(s, `"x@`) || strings.Contains(s, `"w@`) {
+		t.Fatalf("old names leak:\n%s", s)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("renamed graph invalid: %v", err)
+	}
+	// Sharing preserved: the single renamed x feeds both outputs.
+	if out.OpCount() != g.OpCount() || out.NodeCount() != g.NodeCount() {
+		t.Fatalf("structure changed: %d/%d nodes vs %d/%d",
+			out.NodeCount(), out.OpCount(), g.NodeCount(), g.OpCount())
+	}
+	// Original untouched.
+	if !strings.Contains(g.String(), `"x@8 8"`) {
+		t.Fatal("original graph mutated")
+	}
+}
+
+func TestRenameTensorsIdentity(t *testing.T) {
+	b := NewBuilder()
+	g, err := b.Finish(b.Relu(b.Input("x", 4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := RenameTensors(g, map[string]string{"unrelated": "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != g {
+		t.Fatal("no-op rename did not share the graph")
+	}
+	same, err = RenameTensors(g, nil)
+	if err != nil || same != g {
+		t.Fatalf("empty mapping: %v %v", same, err)
+	}
+}

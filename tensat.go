@@ -21,9 +21,31 @@
 // rewrites and cycle filtering), internal/rules (the TASO-style rule
 // set), internal/extract and internal/ilp (greedy and ILP extraction),
 // and internal/cost (the simulated device cost model).
+//
+// # Optimization as a service
+//
+// Beyond the one-shot Optimize call, the repository ships an
+// optimization service. internal/fingerprint canonically content-hashes
+// graphs (structurally identical graphs map to one SHA-256 key
+// regardless of node insertion order or input names); internal/serve
+// wraps the pipeline in a concurrent service with an LRU result cache
+// keyed by fingerprint+options, singleflight deduplication of in-flight
+// identical requests, a bounded worker pool, and latency/hit-rate
+// statistics; and cmd/tensatd exposes it over HTTP+JSON:
+//
+//	POST /optimize  — body {"graph": "<wire format>", ...options}
+//	GET  /stats     — cache and latency counters
+//	GET  /healthz   — liveness
+//
+// Graphs travel in the textual wire format of Graph.MarshalText
+// (S-expressions with let-bindings for shared subgraphs; see
+// internal/tensor/serialize.go). Cancellation and deadlines propagate
+// from the server down through exploration and extraction via
+// OptimizeContext, which is the context-aware form of Optimize.
 package tensat
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -171,8 +193,22 @@ type Result struct {
 // Optimize runs the full TENSAT pipeline on g: exploration by equality
 // saturation, then extraction.
 func Optimize(g *Graph, opt Options) (*Result, error) {
+	return OptimizeContext(context.Background(), g, opt)
+}
+
+// OptimizeContext is Optimize with cancellation and deadline
+// propagation: ctx reaches the exploration runner, the greedy
+// extractor, and the ILP branch-and-bound, so server-side timeouts and
+// Options timeouts share one mechanism. Options.ExploreTimeout bounds
+// only exploration (a soft stop: the partial e-graph is still
+// extracted, as in the paper's anytime setup), while canceling ctx
+// aborts the whole pipeline with ctx.Err().
+func OptimizeContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("tensat: nil graph")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ruleset := opt.Rules
 	if ruleset == nil {
@@ -208,27 +244,37 @@ func Optimize(g *Graph, opt Options) (*Result, error) {
 	default:
 		runner.Filter = rewrite.FilterEfficient
 	}
-	ex, err := runner.Run(g)
+	// ExploreTimeout stays the runner's soft budget (Limits.Timeout,
+	// set above): expiry keeps the partial e-graph. The caller's ctx is
+	// the hard stop — both flow into RunContext, whose Stats
+	// distinguish HitTimeout from Canceled.
+	ex, err := runner.RunContext(ctx, g)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	var res *extract.Result
 	switch opt.Extractor {
 	case ExtractGreedy:
-		res, err = extract.Greedy(ex, model)
+		res, err = extract.GreedyContext(ctx, ex, model)
 	default:
 		topo := ilp.TopoReal
 		if opt.TopoInt {
 			topo = ilp.TopoInt
 		}
-		res, err = extract.ILP(ex, model, extract.ILPOptions{
+		res, err = extract.ILPContext(ctx, ex, model, extract.ILPOptions{
 			CycleConstraints: opt.CycleFilter == FilterNone,
 			TopoMode:         topo,
 			Timeout:          opt.ILPTimeout,
 		})
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 

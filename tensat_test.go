@@ -1,6 +1,8 @@
 package tensat_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -99,6 +101,37 @@ func TestOptimizeCustomRulesAndModel(t *testing.T) {
 	}
 	if h := res.Graph.OpHistogram(); h[tensor.OpRelu] != 1 {
 		t.Fatalf("idempotence not applied: %v", tensor.HistogramString(h))
+	}
+}
+
+func TestOptimizeContextCanceled(t *testing.T) {
+	g := figure2Graph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tensat.OptimizeContext(ctx, g, tensat.DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeContextDeadline(t *testing.T) {
+	g := figure2Graph(t)
+	// A deadline that has effectively already passed must abort the
+	// pipeline with DeadlineExceeded, however far it got.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := tensat.OptimizeContext(ctx, g, tensat.DefaultOptions()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestOptimizeContextPlainBackground(t *testing.T) {
+	g := figure2Graph(t)
+	res, err := tensat.OptimizeContext(context.Background(), g, tensat.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptCost >= res.OrigCost {
+		t.Fatalf("cost did not drop: %v -> %v", res.OrigCost, res.OptCost)
 	}
 }
 
