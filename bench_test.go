@@ -11,11 +11,79 @@
 package tensat_test
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
+	"time"
 
 	"tensat/internal/exp"
+	"tensat/internal/rewrite"
+	"tensat/internal/rules"
 )
+
+// searchBenchWorkers is the parallel worker count of the search-phase
+// benchmark pair below (the acceptance point of the Workers knob).
+const searchBenchWorkers = 4
+
+// searchBench accumulates the sequential-vs-parallel search-phase
+// numbers; when both benchmarks have run, TestMain writes the summary
+// to BENCH_search.json so CI can track the speedup over time.
+var searchBench = struct {
+	Benchmark            string  `json:"benchmark"`
+	Workers              int     `json:"workers"`
+	SequentialSearchNsOp float64 `json:"sequential_search_ns_per_op"`
+	ParallelSearchNsOp   float64 `json:"parallel_search_ns_per_op"`
+	Speedup              float64 `json:"speedup"`
+}{Benchmark: "explore-search-seq-vs-parallel", Workers: searchBenchWorkers}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if searchBench.SequentialSearchNsOp > 0 && searchBench.ParallelSearchNsOp > 0 {
+		searchBench.Speedup = searchBench.SequentialSearchNsOp / searchBench.ParallelSearchNsOp
+		if data, err := json.MarshalIndent(searchBench, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_search.json", append(data, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+// exploreSearchNs runs a saturating NasRNN exploration with the full
+// rule set and returns the average time spent in the e-matching search
+// phase per exploration (the part the Workers knob parallelizes).
+func exploreSearchNs(b *testing.B, workers int) float64 {
+	g := nasrnnGraph(b)
+	var search time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rewrite.NewRunner(rules.Default())
+		r.Limits = rewrite.Limits{MaxNodes: 8000, MaxIters: 6, KMulti: 1, Timeout: time.Hour}
+		r.Workers = workers
+		ex, err := r.Run(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ex.Stats.Matches == 0 {
+			b.Fatal("search benchmark found no matches; workload broken")
+		}
+		search += ex.Stats.SearchTime
+	}
+	b.StopTimer()
+	ns := float64(search.Nanoseconds()) / float64(b.N)
+	b.ReportMetric(ns/1e6, "search-ms/op")
+	return ns
+}
+
+// BenchmarkSearchSequential measures the search phase with Workers=1
+// (the pre-parallelization behavior).
+func BenchmarkSearchSequential(b *testing.B) {
+	searchBench.SequentialSearchNsOp = exploreSearchNs(b, 1)
+}
+
+// BenchmarkSearchParallel measures the same workload with the search
+// fanned out over a frozen e-graph view on 4 workers.
+func BenchmarkSearchParallel(b *testing.B) {
+	searchBench.ParallelSearchNsOp = exploreSearchNs(b, searchBenchWorkers)
+}
 
 // benchConfig sizes experiments so the full suite finishes in minutes.
 func benchConfig() exp.Config {

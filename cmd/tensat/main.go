@@ -35,6 +35,7 @@ func main() {
 		nodeLimit = flag.Int("nodelimit", 20000, "e-graph node limit (N_max)")
 		iters     = flag.Int("iters", 15, "exploration iteration limit (k_max)")
 		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "ILP solver timeout")
+		workers   = flag.Int("workers", 0, "parallel e-matching goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 	opt.NodeLimit = *nodeLimit
 	opt.IterLimit = *iters
 	opt.ILPTimeout = *ilpTime
+	opt.Workers = *workers
 	if *extractor == "greedy" {
 		opt.Extractor = tensat.ExtractGreedy
 	}

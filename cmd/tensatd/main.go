@@ -39,13 +39,14 @@ func main() {
 	log.SetPrefix("tensatd: ")
 
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "max concurrent optimizations (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 256, "result cache capacity (entries)")
-		nodeLimit = flag.Int("nodelimit", 20000, "default e-graph node limit (N_max)")
-		iters     = flag.Int("iters", 15, "default exploration iteration limit (k_max)")
-		kmulti    = flag.Int("kmulti", 1, "default multi-pattern iterations (k_multi)")
-		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "max concurrent optimizations (0 = GOMAXPROCS)")
+		searchWorkers = flag.Int("search-workers", 0, "parallel e-matching goroutines per optimization (0 = GOMAXPROCS, 1 = sequential); with a full -workers pool, total search goroutines is the product, so heavily loaded daemons should divide cores between the two")
+		cacheSize     = flag.Int("cache", 256, "result cache capacity (entries)")
+		nodeLimit     = flag.Int("nodelimit", 20000, "default e-graph node limit (N_max)")
+		iters         = flag.Int("iters", 15, "default exploration iteration limit (k_max)")
+		kmulti        = flag.Int("kmulti", 1, "default multi-pattern iterations (k_multi)")
+		ilpTime       = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 	base.IterLimit = *iters
 	base.KMulti = *kmulti
 	base.ILPTimeout = *ilpTime
+	base.Workers = *searchWorkers
 
 	svc := serve.New(serve.Config{
 		Workers:   *workers,

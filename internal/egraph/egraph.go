@@ -37,8 +37,9 @@ type EGraph struct {
 	pending         []ClassID // classes whose parents need congruence repair
 	analysisPending []ClassID
 
-	nodeCount int   // live e-node count (deduplicated)
-	stamp     int64 // global insertion counter
+	nodeCount int    // live e-node count (deduplicated)
+	stamp     int64  // global insertion counter
+	version   uint64 // mutation counter; Views freeze against it
 
 	opNames []string
 }
@@ -97,6 +98,7 @@ func (g *EGraph) Add(n Node) ClassID {
 	}
 	id := g.uf.makeSet()
 	g.stamp++
+	g.version++
 	cls := &Class{ID: id, Nodes: []Node{cn}, Stamps: []int64{g.stamp}}
 	cls.Data = g.analysis.Make(g, cn)
 	g.classes[id] = cls
@@ -134,6 +136,7 @@ func (g *EGraph) Union(a, b ClassID) (ClassID, bool) {
 	if ra == rb {
 		return ra, false
 	}
+	g.version++
 	root := g.uf.union(ra, rb)
 	other := ra
 	if other == root {
@@ -157,6 +160,9 @@ func (g *EGraph) Union(a, b ClassID) (ClassID, bool) {
 // batch of unions, in the deferred style of egg. It must be called
 // before searching the e-graph again.
 func (g *EGraph) Rebuild() {
+	if len(g.pending) == 0 && len(g.analysisPending) == 0 {
+		return // nothing to repair; keep no-op rebuilds write-free
+	}
 	for len(g.pending) > 0 || len(g.analysisPending) > 0 {
 		todo := g.pending
 		g.pending = nil

@@ -1,0 +1,76 @@
+package egraph
+
+import "sort"
+
+// View is a frozen, read-only canonical snapshot of an e-graph, built
+// by Freeze. It exists so the search phase of equality saturation can
+// run on many goroutines at once: EGraph.Find performs path compression
+// and therefore mutates the union-find even on logically read-only
+// queries, while View.Find is a pure array lookup into a canonical
+// table computed once at freeze time. A View holds no locks and
+// performs no writes, so any number of goroutines may call its methods
+// concurrently.
+//
+// Contract: the view reflects the e-graph at the moment of the Freeze
+// call and is invalidated by any subsequent mutation (Add, Union,
+// Rebuild). Using a stale view is a logic error; Stale reports whether
+// the underlying e-graph has changed since the freeze.
+type View struct {
+	g       *EGraph
+	version uint64
+	find    []ClassID          // id -> canonical representative
+	byID    map[ClassID]*Class // canonical id -> class
+	classes []*Class           // canonical classes, sorted by ID
+}
+
+// Freeze captures a read-only canonical view of g. The e-graph must be
+// clean; if unions are pending, Freeze rebuilds first (searching an
+// un-rebuilt e-graph is never meaningful). The returned view is safe
+// for concurrent use until the next mutation of g.
+func (g *EGraph) Freeze() *View {
+	if len(g.pending) > 0 || len(g.analysisPending) > 0 {
+		g.Rebuild()
+	}
+	v := &View{
+		g:       g,
+		version: g.version,
+		find:    make([]ClassID, g.uf.size()),
+		byID:    make(map[ClassID]*Class, len(g.classes)),
+		classes: make([]*Class, 0, len(g.classes)),
+	}
+	for i := range v.find {
+		v.find[i] = g.uf.find(ClassID(i))
+	}
+	for id, cls := range g.classes {
+		v.byID[id] = cls
+		v.classes = append(v.classes, cls)
+	}
+	sort.Slice(v.classes, func(i, j int) bool { return v.classes[i].ID < v.classes[j].ID })
+	return v
+}
+
+// Find returns the canonical representative of id, without mutating
+// anything.
+func (v *View) Find(id ClassID) ClassID { return v.find[id] }
+
+// Class returns the e-class for id (canonicalized through the frozen
+// table). It panics if the id was never issued by the source e-graph.
+func (v *View) Class(id ClassID) *Class {
+	cls, ok := v.byID[v.find[id]]
+	if !ok {
+		panic("egraph: unknown class in frozen view")
+	}
+	return cls
+}
+
+// Classes returns every canonical class in ascending ID order — the
+// same order EGraph.Classes iterates in. Callers may slice the result
+// to shard a scan across goroutines; they must not modify it.
+func (v *View) Classes() []*Class { return v.classes }
+
+// ClassCount returns the number of e-classes in the snapshot.
+func (v *View) ClassCount() int { return len(v.classes) }
+
+// Stale reports whether the source e-graph has been mutated (Add,
+// Union, or a Rebuild that had work to do) since the view was frozen.
+func (v *View) Stale() bool { return v.version != v.g.version }

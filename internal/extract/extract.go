@@ -106,6 +106,23 @@ func greedySelectCtx(ctx context.Context, ex *rewrite.Explored, model cost.Model
 		picks[c.ID] = -1
 	})
 
+	// Per-node operator costs never change across sweeps (only the
+	// class costs below do), so price every e-node exactly once up
+	// front instead of on every Bellman sweep. Filtered nodes get an
+	// infinite cost, which also removes the per-sweep filter lookup.
+	nodeCosts := make([][]float64, len(classes))
+	for ci, cls := range classes {
+		cc := make([]float64, len(cls.Nodes))
+		for i, n := range cls.Nodes {
+			if ex.Filtered.Has(cls.Stamps[i]) {
+				cc[i] = math.Inf(1)
+				continue
+			}
+			cc[i] = nodeCost(g, model, n)
+		}
+		nodeCosts[ci] = cc
+	}
+
 	// Fixpoint over tree costs (Bellman-style; terminates because costs
 	// only decrease and every finite value stems from an acyclic
 	// derivation, of which there are finitely many).
@@ -114,12 +131,12 @@ func greedySelectCtx(ctx context.Context, ex *rewrite.Explored, model cost.Model
 			return nil, err
 		}
 		changed = false
-		for _, cls := range classes {
+		for ci, cls := range classes {
 			for i, n := range cls.Nodes {
-				if ex.Filtered.Has(cls.Stamps[i]) {
+				t := nodeCosts[ci][i]
+				if math.IsInf(t, 1) {
 					continue
 				}
-				t := nodeCost(g, model, n)
 				for _, ch := range n.Children {
 					t += classCost[g.Find(ch)]
 				}

@@ -238,15 +238,42 @@ type Match struct {
 	Subst Subst
 }
 
+// Source is the read-only e-graph access the matcher needs. Both
+// *egraph.EGraph and *egraph.View implement it; matching against a
+// frozen View is safe from many goroutines at once (EGraph.Find path
+// compression makes the mutable e-graph single-threaded even for
+// logically read-only queries).
+type Source interface {
+	Find(egraph.ClassID) egraph.ClassID
+	Class(egraph.ClassID) *egraph.Class
+}
+
 // Search finds all matches of p anywhere in g. Bindings are
 // canonicalized class ids. The e-graph must be clean (rebuilt).
 func Search(g *egraph.EGraph, p *Pat) []Match {
+	var classes []*egraph.Class
+	g.Classes(func(cls *egraph.Class) { classes = append(classes, cls) })
+	return SearchClasses(g, p, classes)
+}
+
+// SearchView finds all matches of p in a frozen e-graph view. The scan
+// order (ascending class ID) and the resulting match order are
+// identical to Search on the source e-graph.
+func SearchView(v *egraph.View, p *Pat) []Match {
+	return SearchClasses(v, p, v.Classes())
+}
+
+// SearchClasses finds matches of p rooted at each class of classes, in
+// order. Shards of View.Classes can be searched concurrently — one
+// SearchClasses call per goroutine — and concatenated in shard order
+// to reproduce the sequential result exactly.
+func SearchClasses(src Source, p *Pat, classes []*egraph.Class) []Match {
 	var out []Match
-	g.Classes(func(cls *egraph.Class) {
-		for _, s := range matchClass(g, p, cls.ID, Subst{}) {
+	for _, cls := range classes {
+		for _, s := range matchClass(src, p, cls.ID, Subst{}) {
 			out = append(out, Match{Class: cls.ID, Subst: s})
 		}
-	})
+	}
 	return out
 }
 
@@ -261,7 +288,7 @@ func SearchClass(g *egraph.EGraph, p *Pat, class egraph.ClassID) []Match {
 
 // matchClass returns all extensions of subst that match p against the
 // e-class id.
-func matchClass(g *egraph.EGraph, p *Pat, id egraph.ClassID, subst Subst) []Subst {
+func matchClass(g Source, p *Pat, id egraph.ClassID, subst Subst) []Subst {
 	id = g.Find(id)
 	if p.IsVar() {
 		if bound, ok := subst[p.Var]; ok {

@@ -2,6 +2,8 @@ package rewrite
 
 import (
 	"context"
+	"runtime"
+	"sync"
 	"time"
 
 	"tensat/internal/egraph"
@@ -66,6 +68,10 @@ type Stats struct {
 	ENodes        int  // final e-node count
 	EClasses      int  // final e-class count
 	ExploreTime   time.Duration
+	// SearchTime is the part of ExploreTime spent in the e-matching
+	// search phase (frozen-view scans), summed over iterations — the
+	// quantity the Workers knob parallelizes.
+	SearchTime time.Duration
 }
 
 // Explored is the result of the exploration phase: the saturated (or
@@ -86,6 +92,13 @@ type Runner struct {
 	Rules  []*Rule
 	Filter FilterMode
 	Limits Limits
+	// Workers bounds the goroutines used by the search phase of each
+	// iteration. Searching runs against a frozen read-only view of the
+	// e-graph (egraph.View), so N workers match concurrently with no
+	// locks; results are deterministic and identical to the sequential
+	// scan whatever the worker count. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces the sequential path.
+	Workers int
 }
 
 // NewRunner builds a Runner with default limits and efficient filtering.
@@ -188,9 +201,14 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 			break
 		}
 		useMulti := iter < lim.KMulti
-		changed := r.iterate(ex, canon, refs, useMulti, lim, deadline, done)
+		changed, interrupted := r.iterate(ex, canon, refs, useMulti, lim, deadline, done)
 		ex.Stats.Iterations++
-		if !changed {
+		// Saturation means a full iteration ran to completion without
+		// changing the e-graph. An iteration cut short by cancellation,
+		// timeout, or the node limit proves nothing — a canceled or
+		// timed-out run must never report Saturated; loop back so the
+		// checks above classify the stop reason instead.
+		if !changed && !interrupted && !stopped(done) && !time.Now().After(deadline) {
 			ex.Stats.Saturated = true
 			break
 		}
@@ -219,9 +237,13 @@ func stopped(done <-chan struct{}) bool {
 // iterate runs one exploration iteration: search all canonical
 // patterns, then apply all rule matches (Algorithm 1, lines 9-22),
 // then rebuild and post-process cycles (Algorithm 2, lines 10-18).
+// It reports whether the e-graph changed and whether the iteration was
+// interrupted (cancellation, deadline, or node limit) before every
+// match was considered — an interrupted no-change iteration is not
+// saturation.
 func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 	refs map[*Rule][]sourceRef, useMulti bool, lim Limits, deadline time.Time,
-	done <-chan struct{}) bool {
+	done <-chan struct{}) (changed, interrupted bool) {
 
 	g := ex.G
 	nodesBefore := g.NodeCount()
@@ -233,10 +255,11 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 		desc = computeDescendants(g, ex.Filtered)
 	}
 
-	// SEARCH(G, e_c): all matches for all canonical patterns.
-	for _, cs := range canon {
-		cs.matches = pattern.Search(g, cs.pat)
-	}
+	// SEARCH(G, e_c): all matches for all canonical patterns, matched
+	// concurrently against a frozen read-only view of the e-graph.
+	searchStart := time.Now()
+	r.searchAll(g.Freeze(), canon, done)
+	ex.Stats.SearchTime += time.Since(searchStart)
 
 	apply := func(rule *Rule, matched []egraph.ClassID, subst pattern.Subst) {
 		// Shape checking (§4) over every target pattern.
@@ -290,18 +313,36 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 			continue
 		}
 		if g.NodeCount() >= lim.MaxNodes || time.Now().After(deadline) || stopped(done) {
+			// Record timeout/cancel here, not only at the explore loop
+			// top: the iteration-limit check there runs first and would
+			// otherwise mask a budget cut as a plain iter-limit stop.
 			if stopped(done) {
 				ex.Stats.Canceled = true
+			} else if time.Now().After(deadline) {
+				ex.Stats.HitTimeout = true
 			}
+			interrupted = true
 			break
 		}
 		rrefs := refs[rule]
 		if !rule.IsMulti() {
 			ref := rrefs[0]
-			for _, m := range ref.canon.matches {
+			for mi, m := range ref.canon.matches {
+				// Large match lists must notice a dead request between
+				// rule boundaries, same cadence as applyMulti.
+				if mi%256 == 255 && (time.Now().After(deadline) || stopped(done)) {
+					if stopped(done) {
+						ex.Stats.Canceled = true
+					} else {
+						ex.Stats.HitTimeout = true
+					}
+					interrupted = true
+					break
+				}
 				ex.Stats.Matches++
 				apply(rule, []egraph.ClassID{m.Class}, m.Subst.Rename(ref.back))
 				if g.NodeCount() >= lim.MaxNodes {
+					interrupted = true
 					break
 				}
 			}
@@ -310,7 +351,9 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 		// Multi-pattern: cartesian product of decanonicalized matches,
 		// keeping only combinations compatible on shared variables
 		// (Algorithm 1, lines 11-21).
-		r.applyMulti(ex, rule, rrefs, apply, lim, deadline, done)
+		if r.applyMulti(ex, rule, rrefs, apply, lim, deadline, done) {
+			interrupted = true
+		}
 	}
 
 	g.Rebuild()
@@ -318,24 +361,121 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 	if r.Filter != FilterNone {
 		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered)
 	}
-	return unioned || g.NodeCount() != nodesBefore
+	return unioned || g.NodeCount() != nodesBefore, interrupted
+}
+
+// searchAll fills cs.matches for every canonical pattern by scanning a
+// frozen view, fanning the (pattern × class-shard) work units out over
+// a bounded worker pool. Shard results are concatenated in scan order,
+// so the match list per pattern is byte-for-byte the one a sequential
+// scan produces regardless of Workers. A fired done channel makes
+// remaining work units return empty (the caller's rule loop observes
+// the cancellation before applying anything).
+func (r *Runner) searchAll(view *egraph.View, canon map[string]*canonicalSource, done <-chan struct{}) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pats := make([]*canonicalSource, 0, len(canon))
+	for _, cs := range canon {
+		pats = append(pats, cs)
+	}
+	classes := view.Classes()
+	if workers == 1 || len(classes) == 0 || len(pats) == 0 {
+		for _, cs := range pats {
+			if stopped(done) {
+				cs.matches = nil
+				continue
+			}
+			cs.matches = pattern.SearchView(view, cs.pat)
+		}
+		return
+	}
+
+	// Shard the class scan so a single hot pattern also spreads across
+	// workers; oversubscribe shards for load balance.
+	shards := workers * 4
+	if shards > len(classes) {
+		shards = len(classes)
+	}
+	shardSize := (len(classes) + shards - 1) / shards
+	shards = (len(classes) + shardSize - 1) / shardSize
+
+	type task struct{ p, s int }
+	results := make([][][]pattern.Match, len(pats))
+	for i := range results {
+		results[i] = make([][]pattern.Match, shards)
+	}
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if stopped(done) {
+					continue // drain cheaply once canceled
+				}
+				lo := t.s * shardSize
+				hi := lo + shardSize
+				if hi > len(classes) {
+					hi = len(classes)
+				}
+				results[t.p][t.s] = pattern.SearchClasses(view, pats[t.p].pat, classes[lo:hi])
+			}
+		}()
+	}
+	for p := range pats {
+		for s := 0; s < shards; s++ {
+			tasks <- task{p, s}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	for i, cs := range pats {
+		n := 0
+		for _, ms := range results[i] {
+			n += len(ms)
+		}
+		all := make([]pattern.Match, 0, n)
+		for _, ms := range results[i] {
+			all = append(all, ms...)
+		}
+		cs.matches = all
+	}
 }
 
 // applyMulti enumerates compatible match combinations for a
 // multi-pattern rule via backtracking over the per-source match lists.
+// It reports whether enumeration was aborted early (node limit,
+// deadline, or cancellation): the abort flag unwinds the entire
+// recursion, so no sibling branch of the cartesian product keeps
+// enumerating after the budget is gone. An abort caused by the done
+// channel sets Stats.Canceled.
 func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
 	apply func(*Rule, []egraph.ClassID, pattern.Subst), lim Limits, deadline time.Time,
-	done <-chan struct{}) {
+	done <-chan struct{}) (aborted bool) {
 
 	g := ex.G
 	matched := make([]egraph.ClassID, len(rrefs))
-	applied := 0
+	visited := 0
 	var rec func(i int, subst pattern.Subst)
 	rec = func(i int, subst pattern.Subst) {
-		if g.NodeCount() >= lim.MaxNodes {
+		if aborted {
 			return
 		}
-		if applied++; applied%256 == 0 && (time.Now().After(deadline) || stopped(done)) {
+		if g.NodeCount() >= lim.MaxNodes {
+			aborted = true
+			return
+		}
+		if visited++; visited%256 == 0 && (time.Now().After(deadline) || stopped(done)) {
+			if stopped(done) {
+				ex.Stats.Canceled = true
+			} else {
+				ex.Stats.HitTimeout = true
+			}
+			aborted = true
 			return
 		}
 		if i == len(rrefs) {
@@ -345,6 +485,9 @@ func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
 		}
 		ref := rrefs[i]
 		for _, m := range ref.canon.matches {
+			if aborted {
+				return
+			}
 			ms := m.Subst.Rename(ref.back)
 			// COMPATIBLE: shared variables must map to the same e-class.
 			merged := subst.Clone()
@@ -367,4 +510,5 @@ func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
 		}
 	}
 	rec(0, pattern.Subst{})
+	return aborted
 }

@@ -40,7 +40,10 @@ type OptimizeReply struct {
 	EClasses       int     `json:"eclasses"`
 	Iterations     int     `json:"iterations"`
 	Saturated      bool    `json:"saturated"`
-	ILPOptimal     bool    `json:"ilp_optimal"`
+	// Truncated reports that exploration stopped on a time budget or
+	// cancellation, so the result covers only part of the search space.
+	Truncated  bool `json:"truncated"`
+	ILPOptimal bool `json:"ilp_optimal"`
 }
 
 // StatsReply is the body answering GET /stats.
@@ -152,6 +155,7 @@ func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
 		EClasses:       res.EClasses,
 		Iterations:     res.Iterations,
 		Saturated:      res.Saturated,
+		Truncated:      res.Truncated,
 		ILPOptimal:     res.ILPOptimal,
 	})
 }

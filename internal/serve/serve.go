@@ -75,7 +75,8 @@ func isZeroOptions(o tensat.Options) bool {
 	return o.Rules == nil && o.CostModel == nil && o.NodeLimit == 0 &&
 		o.IterLimit == 0 && o.KMulti == 0 && o.ExploreTimeout == 0 &&
 		o.ILPTimeout == 0 && o.Extractor == tensat.ExtractILP &&
-		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt
+		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt &&
+		o.Workers == 0
 }
 
 // RequestOptions are the per-request optimization knobs. The zero
@@ -94,6 +95,12 @@ type RequestOptions struct {
 	// ILP solver. Zero inherits.
 	ExploreTimeoutMS int64 `json:"explore_timeout_ms,omitempty"`
 	ILPTimeoutMS     int64 `json:"ilp_timeout_ms,omitempty"`
+	// Workers bounds the parallel e-matching goroutines used inside
+	// this request's exploration phase (0 inherits the server base,
+	// which itself defaults to GOMAXPROCS; 1 forces sequential search).
+	// With unlimited time budgets the result does not depend on it,
+	// but under an ExploreTimeout more workers explore further.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ErrBadOptions marks RequestOptions validation failures, so transport
@@ -141,6 +148,12 @@ func (ro RequestOptions) apply(base tensat.Options) (tensat.Options, error) {
 	if ro.ILPTimeoutMS > 0 {
 		o.ILPTimeout = time.Duration(ro.ILPTimeoutMS) * time.Millisecond
 	}
+	if ro.Workers < 0 {
+		return o, fmt.Errorf("%w: negative workers %d", ErrBadOptions, ro.Workers)
+	}
+	if ro.Workers > 0 {
+		o.Workers = ro.Workers
+	}
 	return o, nil
 }
 
@@ -150,8 +163,17 @@ func (ro RequestOptions) apply(base tensat.Options) (tensat.Options, error) {
 // spelling it out — share a cache entry and a singleflight run.
 func optionsKey(o tensat.Options) string {
 	var b strings.Builder
+	// Workers joins the key only when an exploration time budget is
+	// set: under a budget the worker count changes how much of the
+	// search space a run covers, but with unlimited exploration time
+	// results are byte-identical for any worker count, so requests
+	// differing only in workers share one cache entry and one run.
+	workersKey := 0
+	if o.ExploreTimeout > 0 {
+		workersKey = o.Workers
+	}
 	for _, v := range []int{o.NodeLimit, o.IterLimit, o.KMulti,
-		int(o.Extractor), int(o.CycleFilter)} {
+		int(o.Extractor), int(o.CycleFilter), workersKey} {
 		b.WriteString(strconv.Itoa(v))
 		b.WriteByte('|')
 	}
@@ -291,7 +313,14 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	start := time.Now()
 	res, err := s.optimize(c.ctx, g, opts)
 	s.stats.endWork(time.Since(start), err)
-	if err == nil {
+	// A canceled run is not a complete result: OptimizeContext normally
+	// surfaces cancellation as an error, but if a result does carry the
+	// Canceled mark (exploration aborted mid-way), it must never be
+	// cached as the answer for this key. A run truncated with no
+	// explicit budget hit the runner's implicit safety-net timeout;
+	// how far it got depends on the worker count, which this key
+	// deliberately omits for budget-free requests — don't cache it.
+	if err == nil && !res.Canceled && !(res.Truncated && opts.ExploreTimeout == 0) {
 		s.cache.add(key, &cachedResult{res: res, tensors: c.tensors})
 	}
 	s.flight.finish(key, c, res, err)

@@ -1,0 +1,98 @@
+package tensat_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tensat"
+	"tensat/internal/models"
+)
+
+// attentionGraph mirrors examples/multiquery: Q/K/V projections off a
+// shared input feeding an attention product.
+func attentionGraph(t testing.TB) *tensat.Graph {
+	t.Helper()
+	const seq, hid = 64, 256
+	b := tensat.NewBuilder()
+	x := b.Input("tokens", seq, hid)
+	wq := b.Weight("wq", hid, hid)
+	wk := b.Weight("wk", hid, hid)
+	wv := b.Weight("wv", hid, hid)
+	q := b.Matmul(tensat.ActNone, x, wq)
+	k := b.Matmul(tensat.ActNone, x, wk)
+	v := b.Matmul(tensat.ActNone, x, wv)
+	scores := b.Matmul(tensat.ActNone, q, b.Transpose(k, 1, 0))
+	g, err := b.Finish(b.Matmul(tensat.ActNone, scores, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func nasrnnGraph(t testing.TB) *tensat.Graph {
+	t.Helper()
+	m, err := models.ByName("NasRNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Build(models.ScaleTest)
+}
+
+// TestParallelWorkersByteIdenticalResults is the end-to-end contract
+// of the Workers knob: Workers=1 and Workers=4 must produce
+// byte-identical optimized graphs (and identical costs) on the nasrnn
+// and multiquery example workloads.
+func TestParallelWorkersByteIdenticalResults(t *testing.T) {
+	cases := []struct {
+		name  string
+		graph func(testing.TB) *tensat.Graph
+		tune  func(*tensat.Options)
+	}{
+		{
+			name:  "nasrnn-greedy",
+			graph: nasrnnGraph,
+			tune: func(o *tensat.Options) {
+				o.Extractor = tensat.ExtractGreedy
+				o.NodeLimit = 3000
+				o.IterLimit = 4
+			},
+		},
+		{
+			name:  "multiquery-ilp",
+			graph: attentionGraph,
+			tune: func(o *tensat.Options) {
+				o.NodeLimit = 2000
+				o.IterLimit = 5
+				o.ILPTimeout = 30 * time.Second
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) ([]byte, *tensat.Result) {
+				opt := tensat.DefaultOptions()
+				tc.tune(&opt)
+				opt.Workers = workers
+				res, err := tensat.Optimize(tc.graph(t), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				text, err := res.Graph.MarshalText()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return text, res
+			}
+			seqText, seqRes := run(1)
+			parText, parRes := run(4)
+			if !bytes.Equal(seqText, parText) {
+				t.Fatalf("extracted graphs differ between Workers=1 and Workers=4:\n%s\nvs\n%s", seqText, parText)
+			}
+			if seqRes.OptCost != parRes.OptCost || seqRes.ENodes != parRes.ENodes ||
+				seqRes.EClasses != parRes.EClasses || seqRes.Iterations != parRes.Iterations {
+				t.Fatalf("run shape differs: %+v vs %+v", seqRes, parRes)
+			}
+		})
+	}
+}

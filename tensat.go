@@ -148,6 +148,15 @@ type Options struct {
 	KMulti int
 	// ExploreTimeout bounds the exploration phase.
 	ExploreTimeout time.Duration
+	// Workers bounds the goroutines used by the e-matching search
+	// phase of exploration, which runs against a frozen read-only view
+	// of the e-graph so workers need no locks. When exploration runs
+	// to its natural limits the result is byte-identical whatever the
+	// value; under a time budget (ExploreTimeout, or the implicit
+	// one-hour safety net) more workers explore further before the
+	// budget expires. 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// sequential search.
+	Workers int
 	// Extractor selects ILP or greedy extraction.
 	Extractor Extractor
 	// CycleFilter selects the exploration cycle strategy.
@@ -181,9 +190,20 @@ type Result struct {
 	// (Table 3's breakdown).
 	ExploreTime, ExtractTime time.Duration
 	// ENodes and EClasses are final e-graph sizes; Iterations counts
-	// exploration rounds; Saturated is true if the e-graph saturated.
+	// exploration rounds; Saturated is true only when a full iteration
+	// completed without changing the e-graph — a canceled or timed-out
+	// exploration never reports Saturated.
 	ENodes, EClasses, Iterations int
 	Saturated                    bool
+	// Truncated is true when exploration stopped because its time
+	// budget expired or the caller canceled, so the e-graph (and hence
+	// the result) covers only part of the search space. Node/iteration
+	// limits are the configured operating mode and do not count.
+	Truncated bool
+	// Canceled is true when exploration was cut short by context
+	// cancellation; such a result is partial and callers (e.g. a
+	// serving cache) must not treat it as the answer for the request.
+	Canceled bool
 	// FilteredNodes counts e-nodes removed by cycle filtering.
 	FilteredNodes int
 	// ILPOptimal is true when ILP extraction proved optimality.
@@ -236,6 +256,7 @@ func OptimizeContext(ctx context.Context, g *Graph, opt Options) (*Result, error
 		KMulti:   opt.KMulti,
 		Timeout:  opt.ExploreTimeout,
 	}
+	runner.Workers = opt.Workers
 	switch opt.CycleFilter {
 	case FilterVanilla:
 		runner.Filter = rewrite.FilterVanilla
@@ -272,6 +293,13 @@ func OptimizeContext(ctx context.Context, g *Graph, opt Options) (*Result, error
 		})
 	}
 	if err != nil {
+		// A canceled context can surface from the extractors as a
+		// domain error (e.g. the ILP's ErrTimeout when cancellation
+		// arrives before any incumbent); report the cancellation so
+		// callers don't classify client abandonment as a failure.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -290,6 +318,8 @@ func OptimizeContext(ctx context.Context, g *Graph, opt Options) (*Result, error
 		EClasses:       ex.Stats.EClasses,
 		Iterations:     ex.Stats.Iterations,
 		Saturated:      ex.Stats.Saturated,
+		Truncated:      ex.Stats.HitTimeout || ex.Stats.Canceled,
+		Canceled:       ex.Stats.Canceled,
 		FilteredNodes:  ex.Stats.FilteredNodes,
 	}
 	if res.ILP != nil {
