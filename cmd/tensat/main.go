@@ -5,13 +5,20 @@
 //
 //	tensat -model NasRNN [-scale full] [-kmulti 1] [-extractor ilp]
 //	       [-filter efficient] [-nodelimit 20000] [-iters 15]
+//	       [-progress]
+//
+// With -progress, live lines trace the run as it happens: one per
+// exploration iteration (e-graph growth) and one per ILP incumbent
+// (the anytime answer improving).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"tensat"
@@ -36,6 +43,7 @@ func main() {
 		iters     = flag.Int("iters", 15, "exploration iteration limit (k_max)")
 		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "ILP solver timeout")
 		workers   = flag.Int("workers", 0, "parallel e-matching goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		progress  = flag.Bool("progress", false, "print live progress lines (iterations, e-graph growth, ILP incumbents) to stderr")
 	)
 	flag.Parse()
 
@@ -79,7 +87,19 @@ func main() {
 		opt.CycleFilter = tensat.FilterNone
 	}
 
-	res, err := tensat.Optimize(g, opt)
+	if *progress {
+		opt.Progress = printProgress
+	}
+
+	// Run through the job API: Ctrl-C cancels the job cleanly instead
+	// of killing the process mid-pipeline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	job, err := tensat.NewOptimizer().Submit(ctx, g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,5 +131,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved dot rendering to %s\n", *dot)
+	}
+}
+
+// printProgress renders one live progress line per pipeline event.
+func printProgress(p tensat.Progress) {
+	at := p.Elapsed.Round(10 * time.Millisecond)
+	switch p.Phase {
+	case tensat.PhaseExplore:
+		fmt.Fprintf(os.Stderr, "[%8v] explore  iter=%-3d enodes=%-6d eclasses=%d\n",
+			at, p.Iteration, p.ENodes, p.EClasses)
+	case tensat.PhaseExtract:
+		if p.BestCost > 0 {
+			fmt.Fprintf(os.Stderr, "[%8v] extract  incumbent=%.1f us\n", at, p.BestCost)
+		} else {
+			fmt.Fprintf(os.Stderr, "[%8v] extract  starting over %d e-nodes\n", at, p.ENodes)
+		}
+	case tensat.PhaseDone:
+		fmt.Fprintf(os.Stderr, "[%8v] done     cost=%.1f us\n", at, p.BestCost)
+	default:
+		fmt.Fprintf(os.Stderr, "[%8v] %s\n", at, p.Phase)
 	}
 }

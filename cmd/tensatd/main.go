@@ -1,22 +1,31 @@
 // Command tensatd serves TENSAT graph optimization over HTTP+JSON.
 //
-// Endpoints:
+// The versioned surface is asynchronous — optimizations are jobs that
+// are submitted, observed, and harvested:
 //
-//	POST /optimize — optimize a graph sent in the textual wire format
-//	GET  /stats    — cache/latency counters
-//	GET  /healthz  — liveness probe
+//	POST   /v1/jobs             — submit a graph; answers 202 + job id
+//	GET    /v1/jobs/{id}        — status + live progress snapshot
+//	GET    /v1/jobs/{id}/result — the optimized graph once done
+//	DELETE /v1/jobs/{id}        — cancel a running job
+//	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/version          — build/runtime identification
+//	GET    /stats               — cache/latency/job counters
+//	GET    /healthz             — liveness probe
+//	POST   /optimize            — deprecated synchronous shim
 //
 // Quick start:
 //
 //	tensatd -addr :8080 &
-//	curl -s localhost:8080/optimize -d '{
+//	curl -s localhost:8080/v1/jobs -d '{
 //	  "graph": "(output (matmul 0 (input \"x@64 256\") (weight \"w1@256 256\")))\n(output (matmul 0 (input \"x@64 256\") (weight \"w2@256 256\")))",
 //	  "options": {"extractor": "ilp"}
 //	}'
+//	curl -s localhost:8080/v1/jobs/<id>          # poll progress
+//	curl -s localhost:8080/v1/jobs/<id>/result   # fetch the answer
 //
 // Structurally identical graphs — whatever their input names or node
-// order — share one cache entry; repeat the request to see
-// "cached": true.
+// order — share one cache entry and one in-flight run; repeat a
+// finished request to see "cached": true.
 package main
 
 import (
@@ -43,6 +52,8 @@ func main() {
 		workers       = flag.Int("workers", 0, "max concurrent optimizations (0 = GOMAXPROCS)")
 		searchWorkers = flag.Int("search-workers", 0, "parallel e-matching goroutines per optimization (0 = GOMAXPROCS, 1 = sequential); with a full -workers pool, total search goroutines is the product, so heavily loaded daemons should divide cores between the two")
 		cacheSize     = flag.Int("cache", 256, "result cache capacity (entries)")
+		maxJobs       = flag.Int("max-jobs", 1024, "async job store capacity; submissions beyond it answer 429 once every held job is unfinished")
+		jobTTL        = flag.Duration("job-ttl", 15*time.Minute, "how long a finished job's result and progress log stay queryable")
 		nodeLimit     = flag.Int("nodelimit", 20000, "default e-graph node limit (N_max)")
 		iters         = flag.Int("iters", 15, "default exploration iteration limit (k_max)")
 		kmulti        = flag.Int("kmulti", 1, "default multi-pattern iterations (k_multi)")
@@ -60,6 +71,8 @@ func main() {
 	svc := serve.New(serve.Config{
 		Workers:   *workers,
 		CacheSize: *cacheSize,
+		MaxJobs:   *maxJobs,
+		JobTTL:    *jobTTL,
 		Base:      base,
 	})
 

@@ -1,0 +1,56 @@
+// Asyncjob: submit an optimization as an asynchronous job and watch
+// it run. Submit returns a *tensat.Job immediately; the caller polls
+// Job.Progress() for live snapshots (phase, iteration, e-graph sizes,
+// ILP incumbent) while the pipeline works, and harvests the result
+// with Job.Result() once Job.Done() closes. Job.Cancel() (not shown
+// stopping this run) aborts at the next pipeline check point.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"tensat"
+	"tensat/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g := models.NasRNN(models.ScaleTest)
+
+	opts := tensat.DefaultOptions()
+	opts.Extractor = tensat.ExtractGreedy
+	opts.NodeLimit = 20000
+
+	job, err := tensat.NewOptimizer().Submit(context.Background(), g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The submitter is free while the job runs; poll for progress.
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+poll:
+	for {
+		select {
+		case <-job.Done():
+			break poll
+		case <-ticker.C:
+			p := job.Progress()
+			fmt.Printf("[%6s] phase=%-8s iter=%-3d enodes=%d\n",
+				p.Elapsed.Round(10*time.Millisecond), p.Phase, p.Iteration, p.ENodes)
+		}
+	}
+
+	res, err := job.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := job.Progress()
+	fmt.Printf("\n%s after %v: %.1f us -> %.1f us (%.1f%% speedup)\n",
+		final.Phase, final.Elapsed.Round(time.Millisecond),
+		res.OrigCost, res.OptCost, res.SpeedupPercent)
+}

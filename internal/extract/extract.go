@@ -184,6 +184,11 @@ type ILPOptions struct {
 	// StallLimit stops branch-and-bound after this many expansions
 	// without improvement (0 uses DefaultStallLimit; negative disables).
 	StallLimit int64
+	// OnIncumbent, when non-nil, receives every improvement of the
+	// solver's incumbent — the cost of the best extraction found so
+	// far — from the solving goroutine. Long ILP runs use it to report
+	// live anytime progress.
+	OnIncumbent func(cost float64)
 }
 
 // DefaultStallLimit is the default incumbent-stall cutoff. It plays
@@ -231,6 +236,9 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 		TopoMode:         opts.TopoMode,
 		Timeout:          opts.Timeout,
 		StallLimit:       stall,
+	}
+	if opts.OnIncumbent != nil {
+		p.OnIncumbent = func(cost float64, _ int64) { opts.OnIncumbent(cost) }
 	}
 	type ref struct {
 		class egraph.ClassID

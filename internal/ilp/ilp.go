@@ -80,6 +80,12 @@ type Problem struct {
 	// becomes the starting incumbent, so the solution is never worse
 	// than any warm start.
 	WarmStarts [][]int
+	// OnIncumbent, when non-nil, is called from the solving goroutine
+	// each time the incumbent improves: once after warm-start seeding
+	// and again on every improvement branch-and-bound finds. It
+	// receives the incumbent cost and the expansions done so far, and
+	// must return quickly (it runs on the search's hot path).
+	OnIncumbent func(cost float64, explored int64)
 }
 
 // Solution is the solver's answer.
@@ -252,6 +258,9 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 		if impCost < s.best {
 			s.best, s.bestPick = impCost, imp
 		}
+	}
+	if p.OnIncumbent != nil && s.bestPick != nil {
+		p.OnIncumbent(s.best, 0)
 	}
 
 	s.need[p.Root] = 1
@@ -528,6 +537,9 @@ func (s *solver) branch(pending []int, bound float64) {
 			s.best = s.acc
 			s.bestPick = append([]int(nil), s.chosen...)
 			s.lastImprove = s.explored
+			if s.p.OnIncumbent != nil {
+				s.p.OnIncumbent(s.best, s.explored)
+			}
 		}
 		return
 	}

@@ -99,6 +99,12 @@ type Runner struct {
 	// scan whatever the worker count. 0 means runtime.GOMAXPROCS(0);
 	// 1 forces the sequential path.
 	Workers int
+	// Progress, when non-nil, is called from the exploring goroutine
+	// once before the first iteration (with iteration 0 and the
+	// freshly ingested e-graph's sizes) and again after every
+	// completed iteration. It must return quickly and must not touch
+	// the e-graph.
+	Progress func(iteration, enodes, eclasses int)
 }
 
 // NewRunner builds a Runner with default limits and efficient filtering.
@@ -182,6 +188,9 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 		}
 	}
 
+	if r.Progress != nil {
+		r.Progress(0, g.NodeCount(), g.ClassCount())
+	}
 	deadline := start.Add(lim.Timeout)
 	for iter := 0; ; iter++ {
 		if iter >= lim.MaxIters {
@@ -203,6 +212,9 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 		useMulti := iter < lim.KMulti
 		changed, interrupted := r.iterate(ex, canon, refs, useMulti, lim, deadline, done)
 		ex.Stats.Iterations++
+		if r.Progress != nil {
+			r.Progress(ex.Stats.Iterations, g.NodeCount(), g.ClassCount())
+		}
 		// Saturation means a full iteration ran to completion without
 		// changing the e-graph. An iteration cut short by cancellation,
 		// timeout, or the node limit proves nothing — a canceled or
@@ -364,6 +376,14 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 	return unioned || g.NodeCount() != nodesBefore, interrupted
 }
 
+// searchShardSize bounds how many classes one search work unit scans
+// before the cancellation channel is consulted again. It caps the
+// latency between a caller canceling and the search phase noticing:
+// on pathological, heavily merged e-graphs a single pattern × full
+// class list scan can run for minutes, which must not pin a worker
+// slot after every interested request is gone.
+const searchShardSize = 1024
+
 // searchAll fills cs.matches for every canonical pattern by scanning a
 // frozen view, fanning the (pattern × class-shard) work units out over
 // a bounded worker pool. Shard results are concatenated in scan order,
@@ -387,14 +407,29 @@ func (r *Runner) searchAll(view *egraph.View, canon map[string]*canonicalSource,
 				cs.matches = nil
 				continue
 			}
-			cs.matches = pattern.SearchView(view, cs.pat)
+			// Scan in bounded chunks, re-checking cancellation between
+			// them; chunk results concatenate in scan order, so the
+			// match list is identical to one whole-view scan.
+			var all []pattern.Match
+			for lo := 0; lo < len(classes) && !stopped(done); lo += searchShardSize {
+				hi := lo + searchShardSize
+				if hi > len(classes) {
+					hi = len(classes)
+				}
+				all = append(all, pattern.SearchClasses(view, cs.pat, classes[lo:hi])...)
+			}
+			cs.matches = all
 		}
 		return
 	}
 
 	// Shard the class scan so a single hot pattern also spreads across
-	// workers; oversubscribe shards for load balance.
+	// workers; oversubscribe shards for load balance, and cap the
+	// shard size so cancellation latency stays bounded.
 	shards := workers * 4
+	if min := (len(classes) + searchShardSize - 1) / searchShardSize; shards < min {
+		shards = min
+	}
 	if shards > len(classes) {
 		shards = len(classes)
 	}

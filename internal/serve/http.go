@@ -6,26 +6,33 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"time"
 
+	"tensat"
 	"tensat/internal/tensor"
 )
 
-// OptimizeRequest is the body of POST /optimize: the graph in the
-// textual wire format of tensor.Graph.MarshalText, the optimization
-// knobs, and an optional whole-request deadline.
+// OptimizeRequest is the body of POST /optimize and POST /v1/jobs: the
+// graph in the textual wire format of tensor.Graph.MarshalText, the
+// optimization knobs, and an optional deadline. Unknown fields are
+// rejected, so a typo like "worker": 4 errors instead of silently
+// running with defaults.
 type OptimizeRequest struct {
 	// Graph is the graph in the S-expression wire format, e.g.
 	// "(output (matmul 0 (input \"x@64 256\") (weight \"w@256 256\")))".
 	Graph string `json:"graph"`
 	// Options refine the server's base configuration.
 	Options RequestOptions `json:"options"`
-	// TimeoutMS bounds the whole request (queueing + optimization);
-	// zero means no per-request deadline beyond the server's.
+	// TimeoutMS bounds the work. On /optimize it bounds the whole
+	// request (queueing + optimization); on /v1/jobs it bounds the job
+	// itself, which otherwise runs until done or canceled.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// OptimizeReply is the body answering POST /optimize.
+// OptimizeReply is the body answering POST /optimize and
+// GET /v1/jobs/{id}/result.
 type OptimizeReply struct {
 	Fingerprint    string  `json:"fingerprint"`
 	Cached         bool    `json:"cached"`
@@ -46,6 +53,60 @@ type OptimizeReply struct {
 	ILPOptimal bool `json:"ilp_optimal"`
 }
 
+// ProgressReply is one progress snapshot on the wire.
+type ProgressReply struct {
+	Phase     string  `json:"phase"`
+	Iteration int     `json:"iteration"`
+	ENodes    int     `json:"enodes"`
+	EClasses  int     `json:"eclasses"`
+	BestCost  float64 `json:"best_cost,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func toProgressReply(p tensat.Progress) ProgressReply {
+	return ProgressReply{
+		Phase:     string(p.Phase),
+		Iteration: p.Iteration,
+		ENodes:    p.ENodes,
+		EClasses:  p.EClasses,
+		BestCost:  p.BestCost,
+		ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// JobReply describes a job's lifecycle state: the body of the 202
+// answering POST /v1/jobs, of GET /v1/jobs/{id}, of DELETE
+// /v1/jobs/{id}, and of the final SSE "done" event.
+type JobReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Progress is the latest snapshot (phase, iteration, e-graph
+	// sizes, incumbent cost, elapsed time).
+	Progress ProgressReply `json:"progress"`
+	// Error carries the failure or cancellation cause once terminal.
+	Error string `json:"error,omitempty"`
+	// StatusURL/ResultURL/EventsURL locate the job's sub-resources.
+	StatusURL string `json:"status_url"`
+	ResultURL string `json:"result_url"`
+	EventsURL string `json:"events_url"`
+}
+
+func toJobReply(j *Job) JobReply {
+	status, prog := j.Status()
+	r := JobReply{
+		ID:        j.ID(),
+		Status:    string(status),
+		Progress:  toProgressReply(prog),
+		StatusURL: "/v1/jobs/" + j.ID(),
+		ResultURL: "/v1/jobs/" + j.ID() + "/result",
+		EventsURL: "/v1/jobs/" + j.ID() + "/events",
+	}
+	if _, err := j.Outcome(); err != nil {
+		r.Error = err.Error()
+	}
+	return r
+}
+
 // StatsReply is the body answering GET /stats.
 type StatsReply struct {
 	Hits         uint64  `json:"hits"`
@@ -59,36 +120,95 @@ type StatsReply struct {
 	Workers      int     `json:"workers"`
 	P50MS        float64 `json:"p50_ms"`
 	P95MS        float64 `json:"p95_ms"`
+	// Asynchronous job counters (the /v1/jobs surface).
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsRunning   int    `json:"jobs_running"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+}
+
+// VersionReply is the body answering GET /v1/version.
+type VersionReply struct {
+	Module     string `json:"module"`
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
 type errorReply struct {
 	Error string `json:"error"`
 }
 
-// NewHandler exposes s over HTTP+JSON:
+// NewHandler exposes s over HTTP+JSON.
 //
-//	POST /optimize — optimize a graph (OptimizeRequest → OptimizeReply)
+// The versioned surface is asynchronous:
+//
+//	POST   /v1/jobs             — submit a job (202 + JobReply)
+//	GET    /v1/jobs/{id}        — status + live progress (JobReply)
+//	GET    /v1/jobs/{id}/result — the result once done (OptimizeReply)
+//	DELETE /v1/jobs/{id}        — cancel the job
+//	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/version          — build/runtime identification
+//
+// plus the unversioned operational endpoints:
+//
 //	GET  /stats    — service counters (StatsReply)
 //	GET  /healthz  — liveness probe
+//
+// Deprecated surface: POST /optimize (OptimizeRequest → OptimizeReply)
+// still answers synchronously — it submits and waits, sharing the
+// result cache and singleflight with the job surface — but new clients
+// should submit jobs; replies carry a Deprecation header.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
 		handleOptimize(s, w, r)
 	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitJob(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := findJob(s, w, r); ok {
+			writeJSON(w, http.StatusOK, toJobReply(job))
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleJobResult(s, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := findJob(s, w, r); ok {
+			job.Cancel()
+			// Cancellation is asynchronous (the run stops at its next
+			// check point); report the state as of now.
+			writeJSON(w, http.StatusOK, toJobReply(job))
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleJobEvents(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, versionReply())
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		writeJSON(w, http.StatusOK, StatsReply{
-			Hits:         st.Hits,
-			Misses:       st.Misses,
-			Deduped:      st.Deduped,
-			Completed:    st.Completed,
-			Errors:       st.Errors,
-			Canceled:     st.Canceled,
-			InFlight:     st.InFlight,
-			CacheEntries: st.CacheEntries,
-			Workers:      s.Workers(),
-			P50MS:        float64(st.P50) / float64(time.Millisecond),
-			P95MS:        float64(st.P95) / float64(time.Millisecond),
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Deduped:       st.Deduped,
+			Completed:     st.Completed,
+			Errors:        st.Errors,
+			Canceled:      st.Canceled,
+			InFlight:      st.InFlight,
+			CacheEntries:  st.CacheEntries,
+			Workers:       s.Workers(),
+			P50MS:         float64(st.P50) / float64(time.Millisecond),
+			P95MS:         float64(st.P95) / float64(time.Millisecond),
+			JobsSubmitted: st.Jobs.Submitted,
+			JobsRunning:   st.Jobs.Running,
+			JobsDone:      st.Jobs.Done,
+			JobsCanceled:  st.Jobs.Canceled,
+			JobsFailed:    st.Jobs.Failed,
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -98,19 +218,165 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
+func versionReply() VersionReply {
+	v := VersionReply{
+		Module:     "tensat",
+		Version:    "(devel)",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			v.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			v.Version = bi.Main.Version
+		}
+	}
+	return v
+}
+
+// decodeRequest parses an OptimizeRequest strictly (unknown fields are
+// errors) and decodes the wire graph. On failure it answers 400 and
+// returns ok=false.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (OptimizeRequest, *tensat.Graph, bool) {
 	var req OptimizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad request body: " + err.Error()})
-		return
+		return req, nil, false
 	}
 	if req.Graph == "" {
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: "missing graph"})
-		return
+		return req, nil, false
 	}
 	g, err := tensor.UnmarshalGraph([]byte(req.Graph))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad graph: " + err.Error()})
+		return req, nil, false
+	}
+	return req, g, true
+}
+
+func findJob(s *Service, w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: "unknown job " + id})
+		return nil, false
+	}
+	return job, true
+}
+
+func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	req, g, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.SubmitJob(g, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrBadOptions):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrJobStoreFull):
+			status = http.StatusTooManyRequests
+		}
+		writeJSON(w, status, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, toJobReply(job))
+}
+
+func handleJobResult(s *Service, w http.ResponseWriter, r *http.Request) {
+	job, ok := findJob(s, w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done():
+	default:
+		status, prog := job.Status()
+		writeJSON(w, http.StatusConflict, errorReply{
+			Error: fmt.Sprintf("job %s not finished (status %s, phase %s)", job.ID(), status, prog.Phase),
+		})
+		return
+	}
+	resp, err := job.Outcome()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusConflict // canceled: there is no result to fetch
+		}
+		writeJSON(w, status, errorReply{Error: err.Error()})
+		return
+	}
+	writeOptimizeReply(w, resp)
+}
+
+// handleJobEvents streams the job's progress log as server-sent
+// events: one "progress" event per snapshot (full history replayed
+// first, so late subscribers see everything), then a final "done"
+// event with the terminal JobReply.
+func handleJobEvents(s *Service, w http.ResponseWriter, r *http.Request) {
+	job, ok := findJob(s, w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusNotImplemented, errorReply{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	}
+
+	idx := 0
+	for {
+		entries, next, notify := job.ProgressSince(idx)
+		idx = next
+		for _, p := range entries {
+			emit("progress", toProgressReply(p))
+		}
+		if len(entries) > 0 {
+			flusher.Flush()
+		}
+		select {
+		case <-job.Done():
+			// Drain snapshots published between the last pump and the
+			// close, then finish with the terminal state.
+			entries, _, _ := job.ProgressSince(idx)
+			for _, p := range entries {
+				emit("progress", toProgressReply(p))
+			}
+			emit("done", toJobReply(job))
+			flusher.Flush()
+			return
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
+	// The synchronous endpoint predates the /v1 job surface and is
+	// kept as a submit-and-wait shim (it still shares the result cache
+	// and singleflight). Headers point clients at the successor.
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/jobs>; rel="successor-version"`)
+	req, g, ok := decodeRequest(w, r)
+	if !ok {
 		return
 	}
 
@@ -135,6 +401,10 @@ func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorReply{Error: err.Error()})
 		return
 	}
+	writeOptimizeReply(w, resp)
+}
+
+func writeOptimizeReply(w http.ResponseWriter, resp *Response) {
 	text, err := resp.Result.Graph.MarshalText()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})

@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"tensat"
+	"tensat/internal/fingerprint"
+)
+
+// ErrJobStoreFull is returned by SubmitJob when the store holds
+// MaxJobs unfinished jobs; transports classify it as backpressure
+// (HTTP 429), not a server fault.
+var ErrJobStoreFull = errors.New("serve: job store full")
+
+// progressLogCap bounds one job's progress history: the log is a ring
+// holding the newest progressLogCap snapshots. Readers that keep up
+// see every entry; a reader that falls more than the cap behind (or a
+// pathological job publishing tens of thousands of incumbents) skips
+// the oldest overwritten entries but always continues receiving the
+// live tail.
+const progressLogCap = 4096
+
+// progressLog is a bounded broadcast log of progress snapshots:
+// writers publish, readers replay from a monotone index and get a
+// channel that is closed on the next append (so watchers never miss or
+// double-count a delivered entry).
+type progressLog struct {
+	mu     sync.Mutex
+	buf    []tensat.Progress // ring once len == progressLogCap
+	total  int               // entries ever published
+	notify chan struct{}
+}
+
+func (l *progressLog) init() { l.notify = make(chan struct{}) }
+
+func (l *progressLog) publish(p tensat.Progress) {
+	l.mu.Lock()
+	if len(l.buf) < progressLogCap {
+		l.buf = append(l.buf, p)
+	} else {
+		l.buf[l.total%progressLogCap] = p
+	}
+	l.total++
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// since returns the entries from monotone index from on (oldest first,
+// clamped to what the ring still holds), the index to resume from, and
+// the channel that will signal the next append.
+func (l *progressLog) since(from int) ([]tensat.Progress, int, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := from
+	if lo := l.total - len(l.buf); start < lo {
+		start = lo
+	}
+	var out []tensat.Progress
+	if start < l.total {
+		out = make([]tensat.Progress, 0, l.total-start)
+		for i := start; i < l.total; i++ {
+			out = append(out, l.buf[i%progressLogCap])
+		}
+	}
+	return out, l.total, l.notify
+}
+
+// latest returns the newest entry (zero Progress when empty).
+func (l *progressLog) latest() tensat.Progress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.total > 0 {
+		return l.buf[(l.total-1)%progressLogCap]
+	}
+	return tensat.Progress{}
+}
+
+// JobStatus is the service-level lifecycle state of an asynchronous
+// job. It is coarser than tensat.Phase: the fine-grained pipeline
+// position (queued/explore/extract) lives in the progress snapshots.
+type JobStatus string
+
+const (
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobCanceled JobStatus = "canceled"
+	JobFailed   JobStatus = "failed"
+)
+
+// Job is one asynchronous optimization tracked by the service: submit
+// returns immediately, progress streams through a per-job log (shared
+// with any deduplicated siblings), and the result stays queryable for
+// the store's TTL after completion.
+type Job struct {
+	id      string
+	created time.Time
+	cancel  context.CancelFunc
+	done    chan struct{}
+	log     progressLog
+
+	mu     sync.Mutex
+	status JobStatus
+	resp   *Response
+	err    error
+	doneAt time.Time
+}
+
+// ID is the store key, exposed over HTTP as /v1/jobs/{id}.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the lifecycle state and the latest progress snapshot.
+// While the job runs, Elapsed is recomputed from submission time so
+// pollers see time advance between pipeline events.
+func (j *Job) Status() (JobStatus, tensat.Progress) {
+	j.mu.Lock()
+	st := j.status
+	j.mu.Unlock()
+	p := j.log.latest()
+	if st == JobRunning {
+		p.Elapsed = time.Since(j.created)
+	}
+	return st, p
+}
+
+// Outcome returns the job's response and error; both are nil until
+// Done is closed.
+func (j *Job) Outcome() (*Response, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resp, j.err
+}
+
+// Cancel aborts a running job; the exploration stops at its next
+// check point, the worker slot is freed (unless other requests share
+// the run), and the partial result is never cached. Canceling a
+// finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// ProgressSince replays the job's progress log from a monotone index,
+// returning the entries, the index to resume from, and the channel
+// signalling the next append — the primitive the SSE handler streams
+// from.
+func (j *Job) ProgressSince(from int) ([]tensat.Progress, int, <-chan struct{}) {
+	return j.log.since(from)
+}
+
+// finish publishes the terminal state exactly once.
+func (j *Job) finish(resp *Response, err error) JobStatus {
+	status := JobDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = JobCanceled
+	default:
+		status = JobFailed
+	}
+	// Guarantee a terminal entry in the log: runs pumped from a flight
+	// already carry one for done/failed, but canceled followers and
+	// cache hits do not.
+	last := j.log.latest()
+	want := tensat.PhaseDone
+	switch status {
+	case JobCanceled:
+		want = tensat.PhaseCanceled
+	case JobFailed:
+		want = tensat.PhaseFailed
+	}
+	if last.Phase != want {
+		p := last
+		p.Phase = want
+		if resp != nil && resp.Result != nil {
+			p.Iteration = resp.Result.Iterations
+			p.ENodes, p.EClasses = resp.Result.ENodes, resp.Result.EClasses
+			p.BestCost = resp.Result.OptCost
+		}
+		p.Elapsed = time.Since(j.created)
+		j.log.publish(p)
+	}
+	j.mu.Lock()
+	j.status = status
+	j.resp, j.err = resp, err
+	j.doneAt = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+	j.cancel() // release the job context's resources
+	return status
+}
+
+// finished reports the completion time (zero while running).
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneAt
+}
+
+// JobCounters snapshots the store's lifetime job counters.
+type JobCounters struct {
+	Submitted uint64
+	Running   int
+	Done      uint64
+	Canceled  uint64
+	Failed    uint64
+}
+
+// jobStore indexes asynchronous jobs by id. It is capacity-capped —
+// submissions beyond MaxJobs evict the oldest finished job, or fail
+// with ErrJobStoreFull when every held job is still running — and
+// TTL-bounded: finished jobs expire ttl after completion.
+type jobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	ttl  time.Duration
+	cap  int
+
+	submitted, done, canceled, failed uint64
+}
+
+func newJobStore(capacity int, ttl time.Duration) *jobStore {
+	return &jobStore{jobs: make(map[string]*Job), ttl: ttl, cap: capacity}
+}
+
+// add registers a new job, purging expired entries and evicting the
+// oldest finished job if the store is at capacity.
+func (st *jobStore) add(j *Job) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.purgeLocked(time.Now())
+	if len(st.jobs) >= st.cap {
+		var oldest *Job
+		for _, held := range st.jobs {
+			at := held.finishedAt()
+			if at.IsZero() {
+				continue
+			}
+			if oldest == nil || at.Before(oldest.finishedAt()) {
+				oldest = held
+			}
+		}
+		if oldest == nil {
+			return ErrJobStoreFull
+		}
+		delete(st.jobs, oldest.id)
+	}
+	st.jobs[j.id] = j
+	st.submitted++
+	return nil
+}
+
+func (st *jobStore) get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.purgeLocked(time.Now())
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// recordFinish bumps the terminal counters.
+func (st *jobStore) recordFinish(status JobStatus) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch status {
+	case JobCanceled:
+		st.canceled++
+	case JobFailed:
+		st.failed++
+	default:
+		st.done++
+	}
+}
+
+func (st *jobStore) purgeLocked(now time.Time) {
+	for id, j := range st.jobs {
+		if at := j.finishedAt(); !at.IsZero() && now.Sub(at) > st.ttl {
+			delete(st.jobs, id)
+		}
+	}
+}
+
+func (st *jobStore) counters() JobCounters {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// The store has no background sweeper; expiry is enforced on every
+	// touch point instead. Purging here too means a server whose only
+	// traffic is monitoring (/stats) still releases finished jobs —
+	// their result graphs and progress logs — once JobTTL elapses.
+	st.purgeLocked(time.Now())
+	running := 0
+	for _, j := range st.jobs {
+		if j.finishedAt().IsZero() {
+			running++
+		}
+	}
+	return JobCounters{
+		Submitted: st.submitted,
+		Running:   running,
+		Done:      st.done,
+		Canceled:  st.canceled,
+		Failed:    st.failed,
+	}
+}
+
+// newJobID returns a 16-hex-char random job id.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// SubmitJob validates the request synchronously (bad options and
+// malformed graphs fail here, before a job exists), registers a job,
+// and starts it in the background. The job is bounded by timeout when
+// positive, and by Job.Cancel; it is NOT tied to the submitting
+// caller's lifetime — that is the point of the asynchronous surface.
+func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Duration) (*Job, error) {
+	opts, err := ro.apply(s.cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := fingerprint.GraphHex(g)
+	if err != nil {
+		return nil, err
+	}
+	names, err := fingerprint.Tensors(g)
+	if err != nil {
+		return nil, err
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	job := &Job{
+		id:      id,
+		created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  JobRunning,
+	}
+	job.log.init()
+	job.log.publish(tensat.Progress{Phase: tensat.PhaseQueued})
+	if err := s.jobs.add(job); err != nil {
+		cancel()
+		return nil, err
+	}
+	key := fp + "|" + optionsKey(opts)
+	go s.runJob(ctx, job, key, fp, names, g, opts)
+	return job, nil
+}
+
+// Job looks up a tracked job by id.
+func (s *Service) Job(id string) (*Job, bool) { return s.jobs.get(id) }
+
+// JobCounters snapshots the job store counters.
+func (s *Service) JobCounters() JobCounters { return s.jobs.counters() }
+
+// finishJob records the terminal state in the job and the store.
+func (s *Service) finishJob(job *Job, resp *Response, err error) {
+	s.jobs.recordFinish(job.finish(resp, err))
+}
+
+// runJob drives one asynchronous job through the same cache →
+// singleflight → worker-pool path as the synchronous Optimize,
+// pumping the shared flight's progress stream into the job's own log
+// so every deduplicated sibling (and the SSE watchers of each) sees
+// identical live snapshots.
+func (s *Service) runJob(ctx context.Context, job *Job, key, fp string, names []string, g *tensat.Graph, opts tensat.Options) {
+	if entry, ok := s.cache.get(key); ok {
+		s.stats.hit()
+		res, err := entry.inVocabulary(names)
+		if err != nil {
+			s.finishJob(job, nil, err)
+			return
+		}
+		s.finishJob(job, &Response{Result: res, Fingerprint: fp, Cached: true}, nil)
+		return
+	}
+	s.stats.miss()
+
+	c, leader := s.flight.join(key)
+	if leader {
+		c.tensors = names // published to followers by close(c.done)
+		go s.run(key, c, g, opts)
+	} else {
+		s.stats.dedup()
+	}
+
+	idx := 0
+	var notify <-chan struct{}
+	pump := func() {
+		var entries []tensat.Progress
+		entries, idx, notify = c.progress.since(idx)
+		for _, p := range entries {
+			job.log.publish(p)
+		}
+	}
+	pump()
+	for {
+		select {
+		case <-c.done:
+			pump() // drain entries published before the close
+			if c.err != nil {
+				s.finishJob(job, nil, c.err)
+				return
+			}
+			// A sibling's graph may spell the tensors differently than
+			// the leader's; answer in this job's vocabulary.
+			res, err := (&cachedResult{res: c.res, tensors: c.tensors}).inVocabulary(names)
+			if err != nil {
+				s.finishJob(job, nil, err)
+				return
+			}
+			s.finishJob(job, &Response{Result: res, Fingerprint: fp, Deduped: !leader}, nil)
+			return
+		case <-ctx.Done():
+			// Canceled (or timed out): drop our interest. The shared run
+			// keeps going while any other request still wants it; if we
+			// were the last, the flight cancels the work, the worker slot
+			// frees up, and run() never caches the partial result.
+			s.flight.leave(key, c)
+			s.stats.cancel()
+			s.finishJob(job, nil, ctx.Err())
+			return
+		case <-notify:
+			pump()
+		}
+	}
+}

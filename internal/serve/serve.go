@@ -7,7 +7,17 @@
 // singleflight), and runs execute on a bounded worker pool with
 // per-request context propagation down into exploration and
 // extraction. Stats exposes hit/miss/dedup counters, in-flight load,
-// and p50/p95 cold latencies.
+// job counters, and p50/p95 cold latencies.
+//
+// Two request surfaces share that machinery. Optimize is synchronous:
+// it blocks the caller until the run (or its cached/deduplicated
+// stand-in) finishes. SubmitJob is asynchronous: it registers a Job in
+// a TTL-bounded, capacity-capped store and returns immediately; the
+// job's live progress (exploration iterations, ILP incumbents)
+// streams through a per-job broadcast log that HTTP exposes by polling
+// and as server-sent events. Deduplicated jobs share one progress
+// stream, and a canceled job frees its worker slot (when it was the
+// last interested party) without ever caching the partial result.
 package serve
 
 import (
@@ -31,6 +41,13 @@ type Config struct {
 	Workers int
 	// CacheSize is the LRU capacity in results; 0 means 256.
 	CacheSize int
+	// MaxJobs caps the asynchronous job store; 0 means 1024. When the
+	// store is full of unfinished jobs, SubmitJob fails with
+	// ErrJobStoreFull.
+	MaxJobs int
+	// JobTTL bounds how long a finished job (its result and progress
+	// log) stays queryable; 0 means 15 minutes.
+	JobTTL time.Duration
 	// Base is the option template requests refine. Its zero value
 	// means tensat.DefaultOptions. Rules and CostModel are service-wide
 	// (they are code, not wire data) — requests can only vary the
@@ -44,10 +61,18 @@ type Service struct {
 	sem    chan struct{}
 	cache  *lruCache
 	flight *flightGroup
+	jobs   *jobStore
 	stats  collector
 
-	// optimize is tensat.OptimizeContext, injectable by tests to model
-	// slow, blocking, or failing optimizations deterministically.
+	// opt is the shared optimizer: the rule set and cost model are
+	// compiled once at construction and reused by every run.
+	opt *tensat.Optimizer
+
+	// optimize runs one optimization, injectable by tests to model
+	// slow, blocking, or failing optimizations deterministically. The
+	// default submits to the shared Optimizer; opts.Progress (set by
+	// run for every flight) must be honored by replacements that want
+	// observable progress.
 	optimize func(context.Context, *tensat.Graph, tensat.Options) (*tensat.Result, error)
 }
 
@@ -59,16 +84,34 @@ func New(cfg Config) *Service {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 256
 	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
 	if isZeroOptions(cfg.Base) {
 		cfg.Base = tensat.DefaultOptions()
 	}
-	return &Service{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.Workers),
-		cache:    newLRUCache(cfg.CacheSize),
-		flight:   newFlightGroup(),
-		optimize: tensat.OptimizeContext,
+	s := &Service{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Workers),
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		jobs:   newJobStore(cfg.MaxJobs, cfg.JobTTL),
+		opt: tensat.NewOptimizer(
+			tensat.WithRules(cfg.Base.Rules),
+			tensat.WithCostModel(cfg.Base.CostModel),
+		),
 	}
+	s.optimize = func(ctx context.Context, g *tensat.Graph, opts tensat.Options) (*tensat.Result, error) {
+		job, err := s.opt.Submit(ctx, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return job.Result()
+	}
+	return s
 }
 
 func isZeroOptions(o tensat.Options) bool {
@@ -76,7 +119,7 @@ func isZeroOptions(o tensat.Options) bool {
 		o.IterLimit == 0 && o.KMulti == 0 && o.ExploreTimeout == 0 &&
 		o.ILPTimeout == 0 && o.Extractor == tensat.ExtractILP &&
 		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt &&
-		o.Workers == 0
+		o.Workers == 0 && o.Progress == nil
 }
 
 // RequestOptions are the per-request optimization knobs. The zero
@@ -299,6 +342,11 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 // run executes one deduplicated optimization on the worker pool under
 // the flight call's reference-counted context.
 func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Options) {
+	// Live progress flows into the flight's shared log, where every
+	// waiter — async jobs in particular — can pump it out. The sink is
+	// not part of the cache key (see optionsKey) so setting it here,
+	// after keying, is safe.
+	opts.Progress = c.progress.publish
 	// Acquire a worker slot; bail out if every interested request is
 	// gone before one frees up.
 	select {
@@ -330,6 +378,7 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 func (s *Service) Stats() Stats {
 	st := s.stats.snapshot()
 	st.CacheEntries = s.cache.len()
+	st.Jobs = s.jobs.counters()
 	return st
 }
 

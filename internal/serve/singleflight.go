@@ -34,6 +34,11 @@ type flightCall struct {
 	tensors []string
 	// waiters is guarded by the owning group's mutex.
 	waiters int
+	// progress records the run's live snapshots; every waiter (sync
+	// requests ignore it, async jobs pump it into their own logs)
+	// shares one stream, so N deduplicated jobs see identical
+	// progress.
+	progress progressLog
 }
 
 func newFlightGroup() *flightGroup {
@@ -52,6 +57,7 @@ func (g *flightGroup) join(key string) (*flightCall, bool) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &flightCall{ctx: ctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	c.progress.init()
 	g.calls[key] = c
 	return c, true
 }

@@ -21,6 +21,9 @@ type Stats struct {
 	// worker slot; CacheEntries is the current LRU population.
 	InFlight     int
 	CacheEntries int
+	// Jobs counts the asynchronous job lifecycle (submitted, running,
+	// done, canceled, failed).
+	Jobs JobCounters
 	// P50 and P95 are percentiles over the most recent cold (uncached)
 	// optimization latencies; zero until the first run completes.
 	P50, P95 time.Duration

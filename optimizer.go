@@ -1,0 +1,411 @@
+package tensat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tensat/internal/cost"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/rewrite"
+	"tensat/internal/rules"
+)
+
+// Phase identifies where in the pipeline a job currently is.
+type Phase string
+
+const (
+	// PhaseQueued means the job was accepted but optimization has not
+	// started yet (e.g. it is waiting for a worker slot).
+	PhaseQueued Phase = "queued"
+	// PhaseExplore is the equality-saturation exploration phase.
+	PhaseExplore Phase = "explore"
+	// PhaseExtract is the extraction phase (greedy or ILP).
+	PhaseExtract Phase = "extract"
+	// PhaseDone, PhaseCanceled and PhaseFailed are terminal.
+	PhaseDone     Phase = "done"
+	PhaseCanceled Phase = "canceled"
+	PhaseFailed   Phase = "failed"
+)
+
+// Terminal reports whether the phase is a final state.
+func (p Phase) Terminal() bool {
+	return p == PhaseDone || p == PhaseCanceled || p == PhaseFailed
+}
+
+// Progress is a point-in-time snapshot of a running optimization job.
+// During PhaseExplore the e-graph sizes grow with each iteration;
+// during PhaseExtract, BestCost tracks the ILP incumbent (the anytime
+// answer the job would return if stopped now).
+type Progress struct {
+	Phase Phase
+	// Iteration counts completed exploration iterations.
+	Iteration int
+	// ENodes and EClasses are the e-graph sizes at the snapshot.
+	ENodes, EClasses int
+	// BestCost is the cost of the best extraction found so far; zero
+	// until the extractor reports a first incumbent.
+	BestCost float64
+	// Elapsed is the time since the job was submitted. For a terminal
+	// snapshot it is frozen at the job's total runtime.
+	Elapsed time.Duration
+}
+
+// Optimizer runs the TENSAT pipeline repeatedly with a rule set and
+// cost model that are compiled once and shared by every submitted job.
+// Construct with NewOptimizer and reuse freely: an Optimizer is safe
+// for concurrent Submit calls. The zero value is not usable.
+//
+// Optimize and OptimizeContext remain as one-shot shims over this
+// type; services or tools optimizing more than one graph should hold
+// one Optimizer so the rule patterns are not re-parsed per call.
+type Optimizer struct {
+	userRules []*Rule
+	model     CostModel
+	base      Options
+
+	rulesOnce sync.Once
+	rules     []*Rule
+}
+
+// OptimizerOption configures NewOptimizer.
+type OptimizerOption func(*Optimizer)
+
+// WithRules sets the rewrite rule set shared by all jobs (nil keeps
+// the default TASO-style set, compiled lazily on first use).
+func WithRules(rs []*Rule) OptimizerOption {
+	return func(o *Optimizer) { o.userRules = rs }
+}
+
+// WithCostModel sets the cost model shared by all jobs (nil keeps the
+// simulated T4 default).
+func WithCostModel(m CostModel) OptimizerOption {
+	return func(o *Optimizer) { o.model = m }
+}
+
+// WithBaseOptions sets the option template jobs inherit: any zero
+// field of the Options passed to Submit falls back to this template
+// before the paper defaults apply.
+func WithBaseOptions(base Options) OptimizerOption {
+	return func(o *Optimizer) { o.base = base }
+}
+
+// NewOptimizer builds a reusable Optimizer.
+func NewOptimizer(opts ...OptimizerOption) *Optimizer {
+	o := &Optimizer{}
+	for _, apply := range opts {
+		apply(o)
+	}
+	if o.model == nil {
+		o.model = cost.NewT4()
+	}
+	return o
+}
+
+// ruleSet resolves the shared rule set exactly once, so the expensive
+// pattern compilation of the default rules is paid on the first job
+// only (and never, when every job brings its own rules).
+func (o *Optimizer) ruleSet() []*Rule {
+	o.rulesOnce.Do(func() {
+		if o.userRules != nil {
+			o.rules = o.userRules
+		} else {
+			o.rules = rules.Default()
+		}
+	})
+	return o.rules
+}
+
+// resolve fills the zero fields of opt from the optimizer's base
+// template, then from the paper defaults, mirroring what the original
+// Optimize entry point did.
+func (o *Optimizer) resolve(opt Options) Options {
+	b := o.base
+	if opt.Rules == nil {
+		opt.Rules = b.Rules
+	}
+	if opt.CostModel == nil {
+		opt.CostModel = b.CostModel
+	}
+	if opt.NodeLimit == 0 {
+		opt.NodeLimit = b.NodeLimit
+	}
+	if opt.IterLimit == 0 {
+		opt.IterLimit = b.IterLimit
+	}
+	if opt.KMulti == 0 {
+		opt.KMulti = b.KMulti
+	}
+	if opt.ExploreTimeout == 0 {
+		opt.ExploreTimeout = b.ExploreTimeout
+	}
+	if opt.Workers == 0 {
+		opt.Workers = b.Workers
+	}
+	if opt.ILPTimeout == 0 {
+		opt.ILPTimeout = b.ILPTimeout
+	}
+	def := DefaultOptions()
+	if opt.NodeLimit == 0 {
+		opt.NodeLimit = def.NodeLimit
+	}
+	if opt.IterLimit == 0 {
+		opt.IterLimit = def.IterLimit
+	}
+	if opt.ILPTimeout == 0 {
+		opt.ILPTimeout = def.ILPTimeout
+	}
+	return opt
+}
+
+// Job is one asynchronous optimization submitted to an Optimizer. All
+// methods are safe for concurrent use from any goroutine.
+type Job struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	start  time.Time
+
+	mu   sync.Mutex
+	prog Progress
+
+	// res and err are written exactly once before done is closed.
+	res *Result
+	err error
+}
+
+// Progress returns the latest snapshot. Until the job reaches a
+// terminal phase, Elapsed is recomputed at call time so pollers see
+// time advance even between pipeline events.
+func (j *Job) Progress() Progress {
+	j.mu.Lock()
+	p := j.prog
+	j.mu.Unlock()
+	if !p.Phase.Terminal() {
+		p.Elapsed = time.Since(j.start)
+	}
+	return p
+}
+
+// Done returns a channel closed when the job reaches a terminal phase.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result blocks until the job finishes and returns its outcome. A
+// canceled job returns the context's error.
+func (j *Job) Result() (*Result, error) {
+	<-j.done
+	return j.res, j.err
+}
+
+// Err returns the job's error without blocking: nil while running or
+// after success, the failure otherwise.
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		return j.err
+	default:
+		return nil
+	}
+}
+
+// Cancel aborts the job. Exploration stops at its next check point
+// and the pipeline unwinds with context.Canceled; canceling a finished
+// job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// record updates the snapshot and forwards it to the user sink (called
+// serially from the job's goroutine; sink runs outside the lock so it
+// may call back into Progress).
+func (j *Job) record(p Progress, sink func(Progress)) {
+	p.Elapsed = time.Since(j.start)
+	j.mu.Lock()
+	j.prog = p
+	j.mu.Unlock()
+	if sink != nil {
+		sink(p)
+	}
+}
+
+// finish publishes the outcome, records the terminal snapshot, and
+// releases the waiters.
+func (j *Job) finish(res *Result, err error, sink func(Progress)) {
+	j.mu.Lock()
+	p := j.prog
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		p.Phase = PhaseDone
+		p.Iteration = res.Iterations
+		p.ENodes, p.EClasses = res.ENodes, res.EClasses
+		p.BestCost = res.OptCost
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		p.Phase = PhaseCanceled
+	default:
+		p.Phase = PhaseFailed
+	}
+	p.Elapsed = time.Since(j.start)
+	j.mu.Lock()
+	j.prog = p
+	j.mu.Unlock()
+	if sink != nil {
+		sink(p)
+	}
+	j.res, j.err = res, err
+	close(j.done)
+	j.cancel() // release the job context's resources
+}
+
+// Submit starts an asynchronous optimization of g and returns its Job
+// handle immediately. The job runs until completion, cancellation of
+// ctx, or Job.Cancel. opts follows the same zero-means-default rules
+// as Optimize, with the optimizer's WithBaseOptions template applied
+// first; opts.Rules and opts.CostModel override the optimizer's
+// compiled set for this job only.
+func (o *Optimizer) Submit(ctx context.Context, g *Graph, opts Options) (*Job, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tensat: nil graph")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts = o.resolve(opts)
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		cancel: cancel,
+		done:   make(chan struct{}),
+		start:  time.Now(),
+		prog:   Progress{Phase: PhaseQueued},
+	}
+	go func() {
+		res, err := o.run(jctx, g, opts, func(p Progress) { j.record(p, opts.Progress) })
+		j.finish(res, err, opts.Progress)
+	}()
+	return j, nil
+}
+
+// run executes the full pipeline (exploration, then extraction),
+// reporting each stage through sink. It is the engine behind both
+// Submit and the synchronous Optimize shims.
+func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Progress)) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ruleset := opt.Rules
+	if ruleset == nil {
+		ruleset = o.ruleSet()
+	}
+	model := opt.CostModel
+	if model == nil {
+		model = o.model
+	}
+
+	runner := rewrite.NewRunner(ruleset)
+	runner.Limits = rewrite.Limits{
+		MaxNodes: opt.NodeLimit,
+		MaxIters: opt.IterLimit,
+		KMulti:   opt.KMulti,
+		Timeout:  opt.ExploreTimeout,
+	}
+	runner.Workers = opt.Workers
+	if sink != nil {
+		runner.Progress = func(iteration, enodes, eclasses int) {
+			sink(Progress{
+				Phase:     PhaseExplore,
+				Iteration: iteration,
+				ENodes:    enodes,
+				EClasses:  eclasses,
+			})
+		}
+	}
+	switch opt.CycleFilter {
+	case FilterVanilla:
+		runner.Filter = rewrite.FilterVanilla
+	case FilterNone:
+		runner.Filter = rewrite.FilterNone
+	default:
+		runner.Filter = rewrite.FilterEfficient
+	}
+	// ExploreTimeout stays the runner's soft budget (Limits.Timeout,
+	// set above): expiry keeps the partial e-graph. The caller's ctx is
+	// the hard stop — both flow into RunContext, whose Stats
+	// distinguish HitTimeout from Canceled.
+	ex, err := runner.RunContext(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if sink != nil {
+		sink(Progress{
+			Phase:     PhaseExtract,
+			Iteration: ex.Stats.Iterations,
+			ENodes:    ex.Stats.ENodes,
+			EClasses:  ex.Stats.EClasses,
+		})
+	}
+	var res *extract.Result
+	switch opt.Extractor {
+	case ExtractGreedy:
+		res, err = extract.GreedyContext(ctx, ex, model)
+	default:
+		topo := ilp.TopoReal
+		if opt.TopoInt {
+			topo = ilp.TopoInt
+		}
+		ilpOpts := extract.ILPOptions{
+			CycleConstraints: opt.CycleFilter == FilterNone,
+			TopoMode:         topo,
+			Timeout:          opt.ILPTimeout,
+		}
+		if sink != nil {
+			ilpOpts.OnIncumbent = func(cost float64) {
+				sink(Progress{
+					Phase:     PhaseExtract,
+					Iteration: ex.Stats.Iterations,
+					ENodes:    ex.Stats.ENodes,
+					EClasses:  ex.Stats.EClasses,
+					BestCost:  cost,
+				})
+			}
+		}
+		res, err = extract.ILPContext(ctx, ex, model, ilpOpts)
+	}
+	if err != nil {
+		// A canceled context can surface from the extractors as a
+		// domain error (e.g. the ILP's ErrTimeout when cancellation
+		// arrives before any incumbent); report the cancellation so
+		// callers don't classify client abandonment as a failure.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	orig := cost.GraphCost(model, g)
+	out := &Result{
+		Graph:          res.Graph,
+		OrigCost:       orig,
+		OptCost:        res.Cost,
+		SpeedupPercent: cost.SpeedupPercent(orig, res.Cost),
+		ExploreTime:    ex.Stats.ExploreTime,
+		ExtractTime:    res.Time,
+		ENodes:         ex.Stats.ENodes,
+		EClasses:       ex.Stats.EClasses,
+		Iterations:     ex.Stats.Iterations,
+		Saturated:      ex.Stats.Saturated,
+		Truncated:      ex.Stats.HitTimeout || ex.Stats.Canceled,
+		Canceled:       ex.Stats.Canceled,
+		FilteredNodes:  ex.Stats.FilteredNodes,
+	}
+	if res.ILP != nil {
+		out.ILPOptimal = res.ILP.Optimal
+	}
+	return out, nil
+}

@@ -22,36 +22,58 @@
 // set), internal/extract and internal/ilp (greedy and ILP extraction),
 // and internal/cost (the simulated device cost model).
 //
+// # Jobs and live progress
+//
+// Optimization runs are long (the paper budgets the ILP a full hour),
+// so the primary API is asynchronous: an Optimizer compiles the rule
+// set and cost model once and is reused for any number of jobs, and
+// Submit returns a Job handle immediately:
+//
+//	o := tensat.NewOptimizer()
+//	job, err := o.Submit(ctx, g, tensat.DefaultOptions())
+//	// ... job.Progress() for live snapshots, job.Cancel() to abort ...
+//	res, err := job.Result() // blocks until done
+//
+// Job.Progress() snapshots the running pipeline — phase, exploration
+// iteration, e-graph sizes, the ILP incumbent cost, elapsed time —
+// and Options.Progress registers a push sink receiving every update.
+// Optimize and OptimizeContext remain as synchronous one-shot shims
+// over this machinery.
+//
 // # Optimization as a service
 //
-// Beyond the one-shot Optimize call, the repository ships an
-// optimization service. internal/fingerprint canonically content-hashes
-// graphs (structurally identical graphs map to one SHA-256 key
-// regardless of node insertion order or input names); internal/serve
-// wraps the pipeline in a concurrent service with an LRU result cache
-// keyed by fingerprint+options, singleflight deduplication of in-flight
-// identical requests, a bounded worker pool, and latency/hit-rate
-// statistics; and cmd/tensatd exposes it over HTTP+JSON:
+// The repository also ships the pipeline as a service.
+// internal/fingerprint canonically content-hashes graphs (structurally
+// identical graphs map to one SHA-256 key regardless of node insertion
+// order or input names); internal/serve wraps the pipeline in a
+// concurrent service with an LRU result cache keyed by
+// fingerprint+options, singleflight deduplication of in-flight
+// identical requests, a bounded worker pool, a TTL-bounded job store,
+// and latency/hit-rate statistics; and cmd/tensatd exposes it over
+// HTTP+JSON:
 //
-//	POST /optimize  — body {"graph": "<wire format>", ...options}
-//	GET  /stats     — cache and latency counters
-//	GET  /healthz   — liveness
+//	POST   /v1/jobs             — submit a job (202 + id)
+//	GET    /v1/jobs/{id}        — status + live progress
+//	GET    /v1/jobs/{id}/result — the result once done
+//	DELETE /v1/jobs/{id}        — cancel
+//	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/version          — build/runtime identification
+//	GET    /stats               — cache, latency and job counters
+//	GET    /healthz             — liveness
+//	POST   /optimize            — deprecated synchronous shim
 //
 // Graphs travel in the textual wire format of Graph.MarshalText
 // (S-expressions with let-bindings for shared subgraphs; see
 // internal/tensor/serialize.go). Cancellation and deadlines propagate
-// from the server down through exploration and extraction via
-// OptimizeContext, which is the context-aware form of Optimize.
+// from the server down through exploration and extraction via the job
+// context.
 package tensat
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"tensat/internal/cost"
-	"tensat/internal/extract"
-	"tensat/internal/ilp"
 	"tensat/internal/rewrite"
 	"tensat/internal/rules"
 	"tensat/internal/tensor"
@@ -166,6 +188,13 @@ type Options struct {
 	// TopoInt uses integer topological variables when CycleFilter is
 	// FilterNone (Table 5's "int" column).
 	TopoInt bool
+	// Progress, when non-nil, receives live snapshots from the running
+	// pipeline: one per exploration iteration, one on the switch to
+	// extraction, one per ILP incumbent improvement, and a terminal
+	// snapshot. It is called serially from the job's goroutine, must
+	// return quickly, and takes no part in option identity (a serving
+	// cache must not key on it).
+	Progress func(Progress)
 }
 
 // DefaultOptions mirrors the paper's experimental setup (§6.1).
@@ -211,7 +240,9 @@ type Result struct {
 }
 
 // Optimize runs the full TENSAT pipeline on g: exploration by equality
-// saturation, then extraction.
+// saturation, then extraction. It is a one-shot shim over Optimizer;
+// callers optimizing many graphs should hold a single Optimizer so the
+// rule set is compiled once.
 func Optimize(g *Graph, opt Options) (*Result, error) {
 	return OptimizeContext(context.Background(), g, opt)
 }
@@ -223,109 +254,15 @@ func Optimize(g *Graph, opt Options) (*Result, error) {
 // only exploration (a soft stop: the partial e-graph is still
 // extracted, as in the paper's anytime setup), while canceling ctx
 // aborts the whole pipeline with ctx.Err().
+//
+// Like Optimize, it is a synchronous shim: it submits one job to a
+// fresh Optimizer and waits for the result.
 func OptimizeContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
-	if g == nil {
-		return nil, fmt.Errorf("tensat: nil graph")
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ruleset := opt.Rules
-	if ruleset == nil {
-		ruleset = rules.Default()
-	}
-	model := opt.CostModel
-	if model == nil {
-		model = cost.NewT4()
-	}
-	def := DefaultOptions()
-	if opt.NodeLimit == 0 {
-		opt.NodeLimit = def.NodeLimit
-	}
-	if opt.IterLimit == 0 {
-		opt.IterLimit = def.IterLimit
-	}
-	if opt.ILPTimeout == 0 {
-		opt.ILPTimeout = def.ILPTimeout
-	}
-
-	runner := rewrite.NewRunner(ruleset)
-	runner.Limits = rewrite.Limits{
-		MaxNodes: opt.NodeLimit,
-		MaxIters: opt.IterLimit,
-		KMulti:   opt.KMulti,
-		Timeout:  opt.ExploreTimeout,
-	}
-	runner.Workers = opt.Workers
-	switch opt.CycleFilter {
-	case FilterVanilla:
-		runner.Filter = rewrite.FilterVanilla
-	case FilterNone:
-		runner.Filter = rewrite.FilterNone
-	default:
-		runner.Filter = rewrite.FilterEfficient
-	}
-	// ExploreTimeout stays the runner's soft budget (Limits.Timeout,
-	// set above): expiry keeps the partial e-graph. The caller's ctx is
-	// the hard stop — both flow into RunContext, whose Stats
-	// distinguish HitTimeout from Canceled.
-	ex, err := runner.RunContext(ctx, g)
+	job, err := NewOptimizer(WithRules(opt.Rules), WithCostModel(opt.CostModel)).Submit(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	var res *extract.Result
-	switch opt.Extractor {
-	case ExtractGreedy:
-		res, err = extract.GreedyContext(ctx, ex, model)
-	default:
-		topo := ilp.TopoReal
-		if opt.TopoInt {
-			topo = ilp.TopoInt
-		}
-		res, err = extract.ILPContext(ctx, ex, model, extract.ILPOptions{
-			CycleConstraints: opt.CycleFilter == FilterNone,
-			TopoMode:         topo,
-			Timeout:          opt.ILPTimeout,
-		})
-	}
-	if err != nil {
-		// A canceled context can surface from the extractors as a
-		// domain error (e.g. the ILP's ErrTimeout when cancellation
-		// arrives before any incumbent); report the cancellation so
-		// callers don't classify client abandonment as a failure.
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
-		}
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	orig := cost.GraphCost(model, g)
-	out := &Result{
-		Graph:          res.Graph,
-		OrigCost:       orig,
-		OptCost:        res.Cost,
-		SpeedupPercent: cost.SpeedupPercent(orig, res.Cost),
-		ExploreTime:    ex.Stats.ExploreTime,
-		ExtractTime:    res.Time,
-		ENodes:         ex.Stats.ENodes,
-		EClasses:       ex.Stats.EClasses,
-		Iterations:     ex.Stats.Iterations,
-		Saturated:      ex.Stats.Saturated,
-		Truncated:      ex.Stats.HitTimeout || ex.Stats.Canceled,
-		Canceled:       ex.Stats.Canceled,
-		FilteredNodes:  ex.Stats.FilteredNodes,
-	}
-	if res.ILP != nil {
-		out.ILPOptimal = res.ILP.Optimal
-	}
-	return out, nil
+	return job.Result()
 }
 
 // GraphCost sums the model cost over the distinct nodes of g.
