@@ -5,11 +5,16 @@
 //
 //	tensat -model NasRNN [-scale full] [-kmulti 1] [-extractor ilp]
 //	       [-filter efficient] [-nodelimit 20000] [-iters 15]
-//	       [-progress]
+//	       [-ruleset taso-default] [-costmodel t4] [-progress]
 //
 // With -progress, live lines trace the run as it happens: one per
 // exploration iteration (e-graph growth) and one per ILP incumbent
 // (the anytime answer improving).
+//
+// -ruleset and -costmodel select named optimization profiles: the
+// built-ins (rule sets taso-default, taso-single; devices t4, a100,
+// cpu) plus anything loaded with -rules-dir (*.rules files) and
+// -device-dir (*.json device specs).
 package main
 
 import (
@@ -44,8 +49,27 @@ func main() {
 		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "ILP solver timeout")
 		workers   = flag.Int("workers", 0, "parallel e-matching goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "print live progress lines (iterations, e-graph growth, ILP incumbents) to stderr")
+		ruleset   = flag.String("ruleset", "", "named rule set profile (e.g. taso-default, taso-single, or a loaded .rules file)")
+		costmodel = flag.String("costmodel", "", "named device cost model (e.g. t4, a100, cpu, or a loaded device spec)")
+		rulesDir  = flag.String("rules-dir", "", "load every *.rules file in this directory before resolving -ruleset")
+		deviceDir = flag.String("device-dir", "", "load every *.json device spec in this directory before resolving -costmodel")
 	)
 	flag.Parse()
+
+	if *workers < 0 {
+		log.Fatalf("-workers must be >= 0, got %d", *workers)
+	}
+	registry := tensat.DefaultRegistry()
+	if *rulesDir != "" {
+		if _, err := registry.LoadRulesDir(*rulesDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *deviceDir != "" {
+		if _, err := registry.LoadDevicesDir(*deviceDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var g *tensat.Graph
 	name := *model
@@ -77,6 +101,8 @@ func main() {
 	opt.IterLimit = *iters
 	opt.ILPTimeout = *ilpTime
 	opt.Workers = *workers
+	opt.RuleSet = *ruleset
+	opt.CostModelName = *costmodel
 	if *extractor == "greedy" {
 		opt.Extractor = tensat.ExtractGreedy
 	}

@@ -4,28 +4,39 @@
 // are submitted, observed, and harvested:
 //
 //	POST   /v1/jobs             — submit a graph; answers 202 + job id
+//	GET    /v1/jobs             — list tracked jobs (status, age, profile)
 //	GET    /v1/jobs/{id}        — status + live progress snapshot
 //	GET    /v1/jobs/{id}/result — the optimized graph once done
 //	DELETE /v1/jobs/{id}        — cancel a running job
 //	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/rulesets         — named rule sets with content hashes
+//	GET    /v1/costmodels       — named device cost models with hashes
 //	GET    /v1/version          — build/runtime identification
-//	GET    /stats               — cache/latency/job counters
-//	GET    /healthz             — liveness probe
+//	GET    /v1/stats            — cache/latency/job/profile counters
+//	GET    /v1/healthz          — liveness probe
 //	POST   /optimize            — deprecated synchronous shim
+//	GET    /stats, /healthz     — deprecated pre-/v1 spellings
 //
 // Quick start:
 //
 //	tensatd -addr :8080 &
 //	curl -s localhost:8080/v1/jobs -d '{
 //	  "graph": "(output (matmul 0 (input \"x@64 256\") (weight \"w1@256 256\")))\n(output (matmul 0 (input \"x@64 256\") (weight \"w2@256 256\")))",
-//	  "options": {"extractor": "ilp"}
+//	  "options": {"extractor": "ilp", "ruleset": "taso-default", "cost_model": "a100"}
 //	}'
 //	curl -s localhost:8080/v1/jobs/<id>          # poll progress
 //	curl -s localhost:8080/v1/jobs/<id>/result   # fetch the answer
 //
 // Structurally identical graphs — whatever their input names or node
-// order — share one cache entry and one in-flight run; repeat a
-// finished request to see "cached": true.
+// order — share one cache entry and one in-flight run per profile;
+// repeat a finished request to see "cached": true.
+//
+// Optimization profiles: -rules-dir loads every *.rules file in a
+// directory as a named rule set (see the README for the line format)
+// and -device-dir loads every *.json device spec as a named cost
+// model; requests select them per job via the "ruleset"/"cost_model"
+// options. A malformed or unsound file refuses to boot the daemon —
+// better a loud start-up failure than a silently missing profile.
 package main
 
 import (
@@ -58,8 +69,42 @@ func main() {
 		iters         = flag.Int("iters", 15, "default exploration iteration limit (k_max)")
 		kmulti        = flag.Int("kmulti", 1, "default multi-pattern iterations (k_multi)")
 		ilpTime       = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
+		rulesDir      = flag.String("rules-dir", "", "load every *.rules file in this directory as a named rule set profile")
+		deviceDir     = flag.String("device-dir", "", "load every *.json device spec in this directory as a named cost model profile")
 	)
 	flag.Parse()
+
+	// Worker counts must be non-negative: silently coercing a negative
+	// value to "GOMAXPROCS" (or to sequential search) hides an operator
+	// mistake.
+	if *workers < 0 {
+		log.Fatalf("-workers must be >= 0, got %d", *workers)
+	}
+	if *searchWorkers < 0 {
+		log.Fatalf("-search-workers must be >= 0, got %d", *searchWorkers)
+	}
+
+	registry := tensat.DefaultRegistry()
+	if *rulesDir != "" {
+		infos, err := registry.LoadRulesDir(*rulesDir)
+		if err != nil {
+			log.Fatalf("loading rule sets: %v", err)
+		}
+		for _, info := range infos {
+			log.Printf("ruleset %s: %d rules (%d multi) hash %.12s from %s",
+				info.Name, info.Rules, info.MultiRules, info.Hash, info.Source)
+		}
+	}
+	if *deviceDir != "" {
+		infos, err := registry.LoadDevicesDir(*deviceDir)
+		if err != nil {
+			log.Fatalf("loading device specs: %v", err)
+		}
+		for _, info := range infos {
+			log.Printf("costmodel %s: %d params hash %.12s from %s",
+				info.Name, info.Params, info.Hash, info.Source)
+		}
+	}
 
 	base := tensat.DefaultOptions()
 	base.NodeLimit = *nodeLimit
@@ -74,6 +119,7 @@ func main() {
 		MaxJobs:   *maxJobs,
 		JobTTL:    *jobTTL,
 		Base:      base,
+		Registry:  registry,
 	})
 
 	server := &http.Server{

@@ -1,13 +1,24 @@
 // Customrules: extend the optimizer with user-defined rewrite rules
-// and a custom cost model. The example adds a (contrived) hardware
-// where tanh is catastrophically slow, plus a rewrite set containing
-// only activation fusion — and shows the extraction following the
-// custom cost model's preferences.
+// and custom cost models, two ways.
+//
+// Part 1 wires a rule and a model directly into Options (the original
+// programmatic API): a contrived accelerator where standalone tanh is
+// catastrophically slow, plus a rewrite set containing only activation
+// fusion — extraction follows the custom model's preferences.
+//
+// Part 2 does the same through named profiles: a .rules file and a
+// JSON device spec are loaded into a tensat.Registry and selected by
+// name via Options.RuleSet/CostModelName — exactly how a tensatd
+// client would select them with the "ruleset"/"cost_model" request
+// fields.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"tensat"
 	"tensat/internal/tensor"
@@ -26,9 +37,7 @@ func (m slowTanh) NodeCost(op tensor.Op, ival int64, sval string, args []*tensor
 	return c
 }
 
-func main() {
-	log.SetFlags(0)
-
+func buildGraph() *tensat.Graph {
 	b := tensat.NewBuilder()
 	x := b.Input("x", 32, 512)
 	w := b.Weight("w", 512, 512)
@@ -36,7 +45,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	return g
+}
 
+func main() {
+	log.SetFlags(0)
+
+	// --- Part 1: rules and model as Go objects on the Options ---
 	fuse, err := tensat.NewRule("fuse-tanh",
 		"(tanh (matmul 0 ?x ?y))", "(matmul 3 ?x ?y)")
 	if err != nil {
@@ -47,7 +62,7 @@ func main() {
 	opt.Rules = []*tensat.Rule{fuse}
 	opt.CostModel = slowTanh{base: tensat.DefaultCostModel()}
 
-	res, err := tensat.Optimize(g, opt)
+	res, err := tensat.Optimize(buildGraph(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,5 +71,64 @@ func main() {
 	fmt.Printf("optimized graph: %v\n", res.Graph)
 	if h := res.Graph.OpHistogram(); h[tensor.OpTanh] == 0 {
 		fmt.Println("standalone tanh eliminated: the custom rule fused it into the matmul")
+	}
+
+	// --- Part 2: the same hardware story as named, content-addressed
+	// profiles in a registry ---
+	dir, err := os.MkdirTemp("", "tensat-profiles")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ruleFile := filepath.Join(dir, "fuse-only.rules")
+	if err := os.WriteFile(ruleFile, []byte(
+		"# only activation fusion\n"+
+			"fuse-tanh: (tanh (matmul 0 ?x ?y)) => (matmul 3 ?x ?y)\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	deviceFile := filepath.Join(dir, "no-tanh-unit.json")
+	if err := os.WriteFile(deviceFile, []byte(`{
+		"name": "no-tanh-unit",
+		"launch_us": 8.0,
+		"peak_gflops": 4000,
+		"mem_bw_gbps": 220,
+		"fused_act_us": 0.5,
+		"group_penalty": 0.25,
+		"op_scale": {"tanh": 50}
+	}`), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	registry := tensat.NewRegistry() // built-ins included
+	rsInfo, err := registry.LoadRuleFile(ruleFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmInfo, err := registry.LoadDeviceFile(deviceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered ruleset %q (hash %.12s) and costmodel %q (hash %.12s)\n",
+		rsInfo.Name, rsInfo.Hash, cmInfo.Name, cmInfo.Hash)
+
+	popt := tensat.DefaultOptions()
+	popt.RuleSet = "fuse-only"
+	popt.CostModelName = "no-tanh-unit"
+	job, err := tensat.NewOptimizer(tensat.WithRegistry(registry)).Submit(context.Background(), buildGraph(), popt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pres, err := job.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("via named profiles:      %.1f us -> %.1f us (%.1f%% speedup)\n",
+		pres.OrigCost, pres.OptCost, pres.SpeedupPercent)
+
+	// An unknown profile fails the submission, listing what exists.
+	bad := tensat.DefaultOptions()
+	bad.RuleSet = "no-such-profile"
+	if _, err := tensat.NewOptimizer(tensat.WithRegistry(registry)).Submit(context.Background(), buildGraph(), bad); err != nil {
+		fmt.Printf("unknown profile rejected: %v\n", err)
 	}
 }

@@ -72,6 +72,27 @@ func GraphHex(g *tensor.Graph) (string, error) {
 	return f.String(), nil
 }
 
+// Key folds an ordered list of content-hash components — typically a
+// graph fingerprint, an encoding of the effective options, and the
+// content hashes of the optimization profile (rule set, cost model) —
+// into one cache key. Components are length-prefixed before hashing,
+// so distinct component lists never collide by concatenation
+// ambiguity: Key("a", "bc") differs from Key("ab", "c"). Because the
+// profile enters through content hashes, not names, identical graphs
+// optimized under different profiles never share a key, while a
+// profile reloaded with unchanged content keeps its keys.
+func Key(parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte("tensat-key-v1"))
+	var buf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Tensors returns g's input/weight names in canonical first-occurrence
 // order: index i names the same tensor role as index i in any
 // structurally identical graph (same fingerprint). Callers use the two

@@ -205,3 +205,24 @@ func TestNilGraph(t *testing.T) {
 		t.Fatal("nil graph accepted")
 	}
 }
+
+// TestKey covers the cache-key folding: deterministic, sensitive to
+// every component, and unambiguous at component boundaries (a profile
+// hash can never bleed into the options encoding).
+func TestKey(t *testing.T) {
+	if Key("a", "b", "c") != Key("a", "b", "c") {
+		t.Error("Key is not deterministic")
+	}
+	if Key("a", "bc") == Key("ab", "c") {
+		t.Error("component boundaries are ambiguous")
+	}
+	if Key("a", "b") == Key("a", "b", "") {
+		t.Error("an empty trailing component is invisible")
+	}
+	if Key("a", "b", "c") == Key("a", "b", "d") {
+		t.Error("last component does not participate")
+	}
+	if len(Key("x")) != 64 {
+		t.Errorf("Key length %d, want 64 hex chars", len(Key("x")))
+	}
+}

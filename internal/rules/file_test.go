@@ -1,0 +1,99 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRuleSet(t *testing.T) {
+	text := `
+# a comment line
+ewadd-comm: (ewadd ?x ?y) => (ewadd ?y ?x)   ; trailing comment
+ewadd-assoc: (ewadd ?x (ewadd ?y ?z)) <=> (ewadd (ewadd ?x ?y) ?z)
+
+fuse-relu: (relu (matmul 0 ?x ?y)) => (matmul 2 ?x ?y)
+`
+	rs, err := ParseRuleSet("test.rules", []byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range rs {
+		names = append(names, r.Name)
+	}
+	want := []string{"ewadd-comm", "ewadd-assoc", "ewadd-assoc-rev", "fuse-relu"}
+	if got := strings.Join(names, ","); got != strings.Join(want, ",") {
+		t.Fatalf("rule names = %v, want %v", names, want)
+	}
+	for _, r := range rs {
+		if r.IsMulti() {
+			t.Errorf("file rule %s unexpectedly multi-pattern", r.Name)
+		}
+	}
+	// The bidirectional pair must be each other's reverse.
+	if rs[1].Sources[0].String() != rs[2].Targets[0].String() ||
+		rs[1].Targets[0].String() != rs[2].Sources[0].String() {
+		t.Errorf("bidirectional pair not mirrored: %v vs %v", rs[1], rs[2])
+	}
+}
+
+func TestParseRuleSetErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"missing-colon", "(ewadd ?x ?y) => (ewadd ?y ?x)", "missing \"name:\""},
+		{"missing-arrow", "r: (ewadd ?x ?y) (ewadd ?y ?x)", "missing \"=>\""},
+		{"bad-pattern", "r: (ewadd ?x => (ewadd ?x ?x)", "source"},
+		{"unbound-var", "r: (relu ?x) => (ewadd ?x ?y)", "not bound"},
+		{"unbound-var-rev", "r: (ewadd ?x ?y) <=> (relu ?x)", "not bound"},
+		{"dup-name", "r: (relu ?x) => (tanh ?x)\nr: (tanh ?x) => (relu ?x)", "duplicate"},
+		{"bad-name", "my rule: (relu ?x) => (tanh ?x)", "invalid character"},
+		{"empty", "# nothing here\n", "no rules"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRuleSet(c.name+".rules", []byte(c.text))
+			if err == nil {
+				t.Fatalf("ParseRuleSet(%q) succeeded, want error containing %q", c.text, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestRuleSetHash(t *testing.T) {
+	parse := func(text string) string {
+		t.Helper()
+		rs, err := ParseRuleSet("h.rules", []byte(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Hash(rs)
+	}
+	a := parse("r: (ewadd ?x ?y) => (ewadd ?y ?x)")
+	b := parse("r: (ewadd ?x ?y) => (ewadd ?y ?x)   # same content, new parse")
+	if a != b {
+		t.Errorf("identical rule sets hash differently: %s vs %s", a, b)
+	}
+	if c := parse("s: (ewadd ?x ?y) => (ewadd ?y ?x)"); c == a {
+		t.Error("renamed rule shares the hash")
+	}
+	if c := parse("r: (ewmul ?x ?y) => (ewmul ?y ?x)"); c == a {
+		t.Error("different pattern shares the hash")
+	}
+	two := parse("r: (ewadd ?x ?y) => (ewadd ?y ?x)\ns: (relu (matmul 0 ?x ?y)) => (matmul 2 ?x ?y)")
+	flipped := parse("s: (relu (matmul 0 ?x ?y)) => (matmul 2 ?x ?y)\nr: (ewadd ?x ?y) => (ewadd ?y ?x)")
+	if two == flipped {
+		t.Error("rule order does not affect the hash")
+	}
+	// The built-in sets hash deterministically (the restart-stability
+	// property the serving cache key relies on) and distinctly.
+	if Hash(Default()) != Hash(Default()) {
+		t.Error("Default() hash unstable across compilations")
+	}
+	if Hash(Default()) == Hash(Single()) {
+		t.Error("Default and Single share a hash")
+	}
+}

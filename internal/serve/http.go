@@ -16,9 +16,10 @@ import (
 
 // OptimizeRequest is the body of POST /optimize and POST /v1/jobs: the
 // graph in the textual wire format of tensor.Graph.MarshalText, the
-// optimization knobs, and an optional deadline. Unknown fields are
-// rejected, so a typo like "worker": 4 errors instead of silently
-// running with defaults.
+// optimization knobs — including the "ruleset"/"cost_model" profile
+// selectors — and an optional deadline. Unknown fields are rejected,
+// so a typo like "worker": 4 errors instead of silently running with
+// defaults.
 type OptimizeRequest struct {
 	// Graph is the graph in the S-expression wire format, e.g.
 	// "(output (matmul 0 (input \"x@64 256\") (weight \"w@256 256\")))".
@@ -80,6 +81,10 @@ func toProgressReply(p tensat.Progress) ProgressReply {
 type JobReply struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
+	// RuleSet and CostModel are the job's resolved optimization
+	// profile ("custom" when the service runs a programmatic override).
+	RuleSet   string `json:"ruleset"`
+	CostModel string `json:"cost_model"`
 	// Progress is the latest snapshot (phase, iteration, e-graph
 	// sizes, incumbent cost, elapsed time).
 	Progress ProgressReply `json:"progress"`
@@ -93,9 +98,12 @@ type JobReply struct {
 
 func toJobReply(j *Job) JobReply {
 	status, prog := j.Status()
+	rs, cm := j.Profile()
 	r := JobReply{
 		ID:        j.ID(),
 		Status:    string(status),
+		RuleSet:   rs,
+		CostModel: cm,
 		Progress:  toProgressReply(prog),
 		StatusURL: "/v1/jobs/" + j.ID(),
 		ResultURL: "/v1/jobs/" + j.ID() + "/result",
@@ -107,7 +115,58 @@ func toJobReply(j *Job) JobReply {
 	return r
 }
 
-// StatsReply is the body answering GET /stats.
+// JobSummaryReply is one row of the GET /v1/jobs listing: enough to
+// see what the store holds (and watch TTL expiry/eviction happen)
+// without the full progress payload.
+type JobSummaryReply struct {
+	ID        string  `json:"id"`
+	Status    string  `json:"status"`
+	AgeMS     float64 `json:"age_ms"`
+	RuleSet   string  `json:"ruleset"`
+	CostModel string  `json:"cost_model"`
+	StatusURL string  `json:"status_url"`
+}
+
+// JobListReply is the body answering GET /v1/jobs.
+type JobListReply struct {
+	Jobs  []JobSummaryReply `json:"jobs"`
+	Count int               `json:"count"`
+}
+
+// RuleSetReply and CostModelReply are the discovery rows of
+// GET /v1/rulesets and GET /v1/costmodels.
+type RuleSetReply struct {
+	Name string `json:"name"`
+	// Hash is the content hash of the rule set (names + canonical
+	// pattern s-expressions) — stable across restarts and reloads
+	// while the rules are unchanged, and the component that keys the
+	// result cache per profile.
+	Hash       string `json:"hash"`
+	Rules      int    `json:"rules"`
+	MultiRules int    `json:"multi_rules"`
+	Source     string `json:"source"`
+}
+
+type CostModelReply struct {
+	Name   string `json:"name"`
+	Hash   string `json:"hash"`
+	Params int    `json:"params"`
+	Source string `json:"source"`
+}
+
+// RuleSetsReply is the body answering GET /v1/rulesets.
+type RuleSetsReply struct {
+	RuleSets []RuleSetReply `json:"rulesets"`
+	Count    int            `json:"count"`
+}
+
+// CostModelsReply is the body answering GET /v1/costmodels.
+type CostModelsReply struct {
+	CostModels []CostModelReply `json:"costmodels"`
+	Count      int              `json:"count"`
+}
+
+// StatsReply is the body answering GET /v1/stats.
 type StatsReply struct {
 	Hits         uint64  `json:"hits"`
 	Misses       uint64  `json:"misses"`
@@ -126,6 +185,8 @@ type StatsReply struct {
 	JobsDone      uint64 `json:"jobs_done"`
 	JobsCanceled  uint64 `json:"jobs_canceled"`
 	JobsFailed    uint64 `json:"jobs_failed"`
+	// Profiles counts requests per "<ruleset>/<costmodel>" profile.
+	Profiles map[string]uint64 `json:"profiles,omitempty"`
 }
 
 // VersionReply is the body answering GET /v1/version.
@@ -142,24 +203,24 @@ type errorReply struct {
 
 // NewHandler exposes s over HTTP+JSON.
 //
-// The versioned surface is asynchronous:
+// The versioned surface is asynchronous and profile-aware:
 //
 //	POST   /v1/jobs             — submit a job (202 + JobReply)
+//	GET    /v1/jobs             — list tracked jobs (JobListReply)
 //	GET    /v1/jobs/{id}        — status + live progress (JobReply)
 //	GET    /v1/jobs/{id}/result — the result once done (OptimizeReply)
 //	DELETE /v1/jobs/{id}        — cancel the job
 //	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/rulesets         — named rule sets + content hashes
+//	GET    /v1/costmodels       — named device cost models + hashes
 //	GET    /v1/version          — build/runtime identification
+//	GET    /v1/stats            — service counters (StatsReply)
+//	GET    /v1/healthz          — liveness probe
 //
-// plus the unversioned operational endpoints:
-//
-//	GET  /stats    — service counters (StatsReply)
-//	GET  /healthz  — liveness probe
-//
-// Deprecated surface: POST /optimize (OptimizeRequest → OptimizeReply)
-// still answers synchronously — it submits and waits, sharing the
-// result cache and singleflight with the job surface — but new clients
-// should submit jobs; replies carry a Deprecation header.
+// Deprecated surface, each answering with Deprecation/Link successor
+// headers: POST /optimize (synchronous submit-and-wait, sharing the
+// result cache and singleflight with the job surface), GET /stats and
+// GET /healthz (pre-/v1 spellings of the operational endpoints).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
@@ -167,6 +228,15 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmitJob(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleListJobs(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/rulesets", func(w http.ResponseWriter, r *http.Request) {
+		handleRuleSets(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/costmodels", func(w http.ResponseWriter, r *http.Request) {
+		handleCostModels(s, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if job, ok := findJob(s, w, r); ok {
@@ -190,32 +260,112 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, versionReply())
 	})
+	// Operational endpoints: /v1 spellings are canonical; the bare
+	// pre-/v1 paths remain as shims carrying the same Deprecation/Link
+	// headers the /optimize shim uses.
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		handleStats(s, w)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		handleHealthz(w)
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		st := s.Stats()
-		writeJSON(w, http.StatusOK, StatsReply{
-			Hits:          st.Hits,
-			Misses:        st.Misses,
-			Deduped:       st.Deduped,
-			Completed:     st.Completed,
-			Errors:        st.Errors,
-			Canceled:      st.Canceled,
-			InFlight:      st.InFlight,
-			CacheEntries:  st.CacheEntries,
-			Workers:       s.Workers(),
-			P50MS:         float64(st.P50) / float64(time.Millisecond),
-			P95MS:         float64(st.P95) / float64(time.Millisecond),
-			JobsSubmitted: st.Jobs.Submitted,
-			JobsRunning:   st.Jobs.Running,
-			JobsDone:      st.Jobs.Done,
-			JobsCanceled:  st.Jobs.Canceled,
-			JobsFailed:    st.Jobs.Failed,
-		})
+		deprecated(w, "/v1/stats")
+		handleStats(s, w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		deprecated(w, "/v1/healthz")
+		handleHealthz(w)
 	})
 	return mux
+}
+
+// deprecated stamps the headers a pre-/v1 path answers with: the same
+// Deprecation marker and successor Link that /optimize carries.
+func deprecated(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+}
+
+func handleStats(s *Service, w http.ResponseWriter) {
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, StatsReply{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Deduped:       st.Deduped,
+		Completed:     st.Completed,
+		Errors:        st.Errors,
+		Canceled:      st.Canceled,
+		InFlight:      st.InFlight,
+		CacheEntries:  st.CacheEntries,
+		Workers:       s.Workers(),
+		P50MS:         float64(st.P50) / float64(time.Millisecond),
+		P95MS:         float64(st.P95) / float64(time.Millisecond),
+		JobsSubmitted: st.Jobs.Submitted,
+		JobsRunning:   st.Jobs.Running,
+		JobsDone:      st.Jobs.Done,
+		JobsCanceled:  st.Jobs.Canceled,
+		JobsFailed:    st.Jobs.Failed,
+		Profiles:      st.Profiles,
+	})
+}
+
+func handleHealthz(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleListJobs answers GET /v1/jobs with a summary of every tracked
+// job, oldest first.
+func handleListJobs(s *Service, w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	reply := JobListReply{Jobs: make([]JobSummaryReply, 0, len(jobs)), Count: len(jobs)}
+	now := time.Now()
+	for _, j := range jobs {
+		status, _ := j.Status()
+		rs, cm := j.Profile()
+		reply.Jobs = append(reply.Jobs, JobSummaryReply{
+			ID:        j.ID(),
+			Status:    string(status),
+			AgeMS:     float64(now.Sub(j.Created())) / float64(time.Millisecond),
+			RuleSet:   rs,
+			CostModel: cm,
+			StatusURL: "/v1/jobs/" + j.ID(),
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleRuleSets answers GET /v1/rulesets from the service registry.
+func handleRuleSets(s *Service, w http.ResponseWriter, _ *http.Request) {
+	infos := s.Registry().RuleSets()
+	reply := RuleSetsReply{RuleSets: make([]RuleSetReply, 0, len(infos)), Count: len(infos)}
+	for _, info := range infos {
+		reply.RuleSets = append(reply.RuleSets, RuleSetReply{
+			Name:       info.Name,
+			Hash:       info.Hash,
+			Rules:      info.Rules,
+			MultiRules: info.MultiRules,
+			Source:     info.Source,
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleCostModels answers GET /v1/costmodels from the service
+// registry.
+func handleCostModels(s *Service, w http.ResponseWriter, _ *http.Request) {
+	infos := s.Registry().CostModels()
+	reply := CostModelsReply{CostModels: make([]CostModelReply, 0, len(infos)), Count: len(infos)}
+	for _, info := range infos {
+		reply.CostModels = append(reply.CostModels, CostModelReply{
+			Name:   info.Name,
+			Hash:   info.Hash,
+			Params: info.Params,
+			Source: info.Source,
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 func versionReply() VersionReply {
@@ -373,8 +523,7 @@ func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
 	// The synchronous endpoint predates the /v1 job surface and is
 	// kept as a submit-and-wait shim (it still shares the result cache
 	// and singleflight). Headers point clients at the successor.
-	w.Header().Set("Deprecation", "true")
-	w.Header().Set("Link", `</v1/jobs>; rel="successor-version"`)
+	deprecated(w, "/v1/jobs")
 	req, g, ok := decodeRequest(w, r)
 	if !ok {
 		return

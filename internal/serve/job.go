@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -100,6 +101,7 @@ const (
 type Job struct {
 	id      string
 	created time.Time
+	prof    profile
 	cancel  context.CancelFunc
 	done    chan struct{}
 	log     progressLog
@@ -113,6 +115,14 @@ type Job struct {
 
 // ID is the store key, exposed over HTTP as /v1/jobs/{id}.
 func (j *Job) ID() string { return j.id }
+
+// Created reports submission time (the job-listing "age" anchor).
+func (j *Job) Created() time.Time { return j.created }
+
+// Profile reports the resolved profile names the job runs under.
+func (j *Job) Profile() (ruleSet, costModel string) {
+	return j.prof.RuleSet, j.prof.CostModel
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -263,6 +273,25 @@ func (st *jobStore) get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// list snapshots the live (unexpired) jobs, oldest submission first,
+// id as the tiebreak so the order is deterministic.
+func (st *jobStore) list() []*Job {
+	st.mu.Lock()
+	st.purgeLocked(time.Now())
+	out := make([]*Job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, j)
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].created.Equal(out[k].created) {
+			return out[i].created.Before(out[k].created)
+		}
+		return out[i].id < out[k].id
+	})
+	return out
+}
+
 // recordFinish bumps the terminal counters.
 func (st *jobStore) recordFinish(status JobStatus) {
 	st.mu.Lock()
@@ -327,6 +356,10 @@ func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Dur
 	if err != nil {
 		return nil, err
 	}
+	prof, err := s.resolveProfile(&opts)
+	if err != nil {
+		return nil, err
+	}
 	fp, err := fingerprint.GraphHex(g)
 	if err != nil {
 		return nil, err
@@ -350,6 +383,7 @@ func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Dur
 	job := &Job{
 		id:      id,
 		created: time.Now(),
+		prof:    prof,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		status:  JobRunning,
@@ -360,13 +394,20 @@ func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Dur
 		cancel()
 		return nil, err
 	}
-	key := fp + "|" + optionsKey(opts)
+	key := requestKey(fp, opts, prof)
+	s.stats.profile(prof.label())
 	go s.runJob(ctx, job, key, fp, names, g, opts)
 	return job, nil
 }
 
 // Job looks up a tracked job by id.
 func (s *Service) Job(id string) (*Job, bool) { return s.jobs.get(id) }
+
+// Jobs lists every tracked job — running and finished-but-unexpired —
+// oldest first. It is the observability hook behind GET /v1/jobs: the
+// TTL and eviction behavior of the store shows up as jobs appearing
+// and disappearing from this listing.
+func (s *Service) Jobs() []*Job { return s.jobs.list() }
 
 // JobCounters snapshots the job store counters.
 func (s *Service) JobCounters() JobCounters { return s.jobs.counters() }

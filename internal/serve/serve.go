@@ -49,10 +49,14 @@ type Config struct {
 	// log) stays queryable; 0 means 15 minutes.
 	JobTTL time.Duration
 	// Base is the option template requests refine. Its zero value
-	// means tensat.DefaultOptions. Rules and CostModel are service-wide
-	// (they are code, not wire data) — requests can only vary the
-	// scalar knobs in RequestOptions.
+	// means tensat.DefaultOptions. A programmatic Rules/CostModel here
+	// is service-wide ("custom" in stats and job listings); requests
+	// override it by naming a registered profile.
 	Base tensat.Options
+	// Registry resolves the "ruleset" and "cost_model" names requests
+	// select; nil means tensat.DefaultRegistry() (the built-ins plus
+	// whatever the daemon loaded from -rules-dir/-device-dir).
+	Registry *tensat.Registry
 }
 
 // Service is a concurrent graph-optimization service.
@@ -93,6 +97,9 @@ func New(cfg Config) *Service {
 	if isZeroOptions(cfg.Base) {
 		cfg.Base = tensat.DefaultOptions()
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = tensat.DefaultRegistry()
+	}
 	s := &Service{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.Workers),
@@ -102,6 +109,7 @@ func New(cfg Config) *Service {
 		opt: tensat.NewOptimizer(
 			tensat.WithRules(cfg.Base.Rules),
 			tensat.WithCostModel(cfg.Base.CostModel),
+			tensat.WithRegistry(cfg.Registry),
 		),
 	}
 	s.optimize = func(ctx context.Context, g *tensat.Graph, opts tensat.Options) (*tensat.Result, error) {
@@ -115,7 +123,8 @@ func New(cfg Config) *Service {
 }
 
 func isZeroOptions(o tensat.Options) bool {
-	return o.Rules == nil && o.CostModel == nil && o.NodeLimit == 0 &&
+	return o.Rules == nil && o.CostModel == nil &&
+		o.RuleSet == "" && o.CostModelName == "" && o.NodeLimit == 0 &&
 		o.IterLimit == 0 && o.KMulti == 0 && o.ExploreTimeout == 0 &&
 		o.ILPTimeout == 0 && o.Extractor == tensat.ExtractILP &&
 		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt &&
@@ -126,9 +135,17 @@ func isZeroOptions(o tensat.Options) bool {
 // value inherits every setting from the service's Config.Base. Field
 // names double as the HTTP JSON schema of POST /optimize.
 type RequestOptions struct {
-	NodeLimit int `json:"node_limit,omitempty"`
-	IterLimit int `json:"iter_limit,omitempty"`
-	KMulti    int `json:"k_multi,omitempty"`
+	// RuleSet names the rewrite rule set to optimize with (e.g.
+	// "taso-default", "taso-single", or a profile loaded from a .rules
+	// file). "" inherits the service default; an unknown name is a 400
+	// carrying the list of known names.
+	RuleSet string `json:"ruleset,omitempty"`
+	// CostModel names the device cost model (e.g. "t4", "a100", "cpu",
+	// or a loaded device spec). "" inherits; unknown names are 400s.
+	CostModel string `json:"cost_model,omitempty"`
+	NodeLimit int    `json:"node_limit,omitempty"`
+	IterLimit int    `json:"iter_limit,omitempty"`
+	KMulti    int    `json:"k_multi,omitempty"`
 	// Extractor is "ilp" or "greedy" ("" inherits).
 	Extractor string `json:"extractor,omitempty"`
 	// CycleFilter is "efficient", "vanilla" or "none" ("" inherits).
@@ -150,9 +167,21 @@ type RequestOptions struct {
 // layers can classify them as client errors.
 var ErrBadOptions = errors.New("serve: bad request options")
 
-// apply refines base with the request's non-zero knobs.
+// apply refines base with the request's non-zero knobs. Profile names
+// are carried over verbatim; resolveProfile validates them against the
+// registry and computes the content hashes the cache key needs.
 func (ro RequestOptions) apply(base tensat.Options) (tensat.Options, error) {
 	o := base
+	if ro.RuleSet != "" {
+		// A named profile replaces the service-wide rule set entirely —
+		// including a programmatic Config.Base.Rules override.
+		o.RuleSet = ro.RuleSet
+		o.Rules = nil
+	}
+	if ro.CostModel != "" {
+		o.CostModelName = ro.CostModel
+		o.CostModel = nil
+	}
 	if ro.NodeLimit > 0 {
 		o.NodeLimit = ro.NodeLimit
 	}
@@ -198,6 +227,63 @@ func (ro RequestOptions) apply(base tensat.Options) (tensat.Options, error) {
 		o.Workers = ro.Workers
 	}
 	return o, nil
+}
+
+// profile is a resolved optimization profile: the effective display
+// names and the content hashes that join the cache key. Two requests
+// share cache entries exactly when their profiles hash alike —
+// whatever the names say — so a reloaded-but-unchanged profile keeps
+// its entries and renamed-identical devices share them.
+type profile struct {
+	RuleSet, CostModel         string
+	ruleSetHash, costModelHash string
+}
+
+// label is the per-profile stats key and job-listing tag.
+func (p profile) label() string { return p.RuleSet + "/" + p.CostModel }
+
+// resolveProfile validates o's profile names against the registry and
+// fills in defaults: an unnamed half falls back to the built-in
+// profile, or to the opaque "custom" label when the service was
+// configured with a programmatic Rules/CostModel object.
+func (s *Service) resolveProfile(o *tensat.Options) (profile, error) {
+	var p profile
+	switch {
+	case o.Rules != nil:
+		p.RuleSet = "custom"
+	case o.RuleSet == "":
+		o.RuleSet = tensat.DefaultRuleSetName
+		fallthrough
+	default:
+		info, ok := s.cfg.Registry.RuleSetInfo(o.RuleSet)
+		if !ok {
+			return p, fmt.Errorf("%w: unknown ruleset %q (known: %s)",
+				ErrBadOptions, o.RuleSet, strings.Join(s.cfg.Registry.RuleSetNames(), ", "))
+		}
+		p.RuleSet, p.ruleSetHash = info.Name, info.Hash
+	}
+	switch {
+	case o.CostModel != nil:
+		p.CostModel = "custom"
+	case o.CostModelName == "":
+		o.CostModelName = tensat.DefaultCostModelName
+		fallthrough
+	default:
+		info, ok := s.cfg.Registry.CostModelInfo(o.CostModelName)
+		if !ok {
+			return p, fmt.Errorf("%w: unknown cost_model %q (known: %s)",
+				ErrBadOptions, o.CostModelName, strings.Join(s.cfg.Registry.CostModelNames(), ", "))
+		}
+		p.CostModel, p.costModelHash = info.Name, info.Hash
+	}
+	return p, nil
+}
+
+// requestKey derives the cache/singleflight key: graph fingerprint,
+// effective scalar knobs, and the profile content hashes, folded
+// through fingerprint.Key so no component can collide into another.
+func requestKey(fp string, opts tensat.Options, prof profile) string {
+	return fingerprint.Key(fp, optionsKey(opts), prof.ruleSetHash, prof.costModelHash)
 }
 
 // optionsKey canonically encodes the *effective* (post-apply) knobs
@@ -293,6 +379,10 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 	if err != nil {
 		return nil, err
 	}
+	prof, err := s.resolveProfile(&opts)
+	if err != nil {
+		return nil, err
+	}
 	fp, err := fingerprint.GraphHex(g)
 	if err != nil {
 		return nil, err
@@ -301,7 +391,8 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 	if err != nil {
 		return nil, err
 	}
-	key := fp + "|" + optionsKey(opts)
+	key := requestKey(fp, opts, prof)
+	s.stats.profile(prof.label())
 
 	if entry, ok := s.cache.get(key); ok {
 		s.stats.hit()
@@ -384,3 +475,8 @@ func (s *Service) Stats() Stats {
 
 // Workers reports the configured worker-pool bound.
 func (s *Service) Workers() int { return s.cfg.Workers }
+
+// Registry returns the profile registry this service resolves request
+// "ruleset"/"cost_model" names against (the discovery endpoints list
+// its contents).
+func (s *Service) Registry() *tensat.Registry { return s.cfg.Registry }

@@ -24,6 +24,10 @@ type Stats struct {
 	// Jobs counts the asynchronous job lifecycle (submitted, running,
 	// done, canceled, failed).
 	Jobs JobCounters
+	// Profiles counts requests per optimization profile, keyed
+	// "<ruleset>/<costmodel>" (e.g. "taso-default/t4") — both the
+	// synchronous and the job surface contribute.
+	Profiles map[string]uint64
 	// P50 and P95 are percentiles over the most recent cold (uncached)
 	// optimization latencies; zero until the first run completes.
 	P50, P95 time.Duration
@@ -42,6 +46,7 @@ type collector struct {
 	errors    uint64
 	canceled  uint64
 	inFlight  int
+	profiles  map[string]uint64
 	ring      [latencyWindow]time.Duration
 	ringN     int // total latencies ever recorded
 }
@@ -52,6 +57,16 @@ func (c *collector) dedup()  { c.mu.Lock(); c.deduped++; c.mu.Unlock() }
 func (c *collector) cancel() { c.mu.Lock(); c.canceled++; c.mu.Unlock() }
 
 func (c *collector) startWork() { c.mu.Lock(); c.inFlight++; c.mu.Unlock() }
+
+// profile counts one request against its resolved profile label.
+func (c *collector) profile(label string) {
+	c.mu.Lock()
+	if c.profiles == nil {
+		c.profiles = make(map[string]uint64)
+	}
+	c.profiles[label]++
+	c.mu.Unlock()
+}
 
 func (c *collector) endWork(d time.Duration, err error) {
 	c.mu.Lock()
@@ -83,6 +98,12 @@ func (c *collector) snapshot() Stats {
 		Errors:    c.errors,
 		Canceled:  c.canceled,
 		InFlight:  c.inFlight,
+	}
+	if len(c.profiles) > 0 {
+		s.Profiles = make(map[string]uint64, len(c.profiles))
+		for k, v := range c.profiles {
+			s.Profiles[k] = v
+		}
 	}
 	n := c.ringN
 	if n > latencyWindow {

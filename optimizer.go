@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +67,7 @@ type Optimizer struct {
 	userRules []*Rule
 	model     CostModel
 	base      Options
+	registry  *Registry
 
 	rulesOnce sync.Once
 	rules     []*Rule
@@ -93,6 +95,15 @@ func WithBaseOptions(base Options) OptimizerOption {
 	return func(o *Optimizer) { o.base = base }
 }
 
+// WithRegistry sets the profile registry that resolves Options.RuleSet
+// and Options.CostModelName (nil keeps DefaultRegistry). Registry
+// entries are compiled at registration, so per-job resolution is a map
+// lookup — the per-profile generalization of the optimizer's old
+// compile-once behavior.
+func WithRegistry(r *Registry) OptimizerOption {
+	return func(o *Optimizer) { o.registry = r }
+}
+
 // NewOptimizer builds a reusable Optimizer.
 func NewOptimizer(opts ...OptimizerOption) *Optimizer {
 	o := &Optimizer{}
@@ -105,30 +116,54 @@ func NewOptimizer(opts ...OptimizerOption) *Optimizer {
 	return o
 }
 
-// ruleSet resolves the shared rule set exactly once, so the expensive
-// pattern compilation of the default rules is paid on the first job
-// only (and never, when every job brings its own rules).
+// Registry returns the profile registry this optimizer resolves
+// Options.RuleSet and Options.CostModelName against.
+func (o *Optimizer) Registry() *Registry { return o.reg() }
+
+// reg resolves the registry lazily, so an optimizer that never names a
+// profile (and brings its own rules) never compiles the built-ins.
+func (o *Optimizer) reg() *Registry {
+	if o.registry != nil {
+		return o.registry
+	}
+	return DefaultRegistry()
+}
+
+// ruleSet resolves the optimizer-default rule set exactly once (the
+// registry's taso-default entry, or the WithRules override), used by
+// jobs that name no profile and bring no rules of their own. Named
+// rule sets (Options.RuleSet) bypass this and hit the registry, where
+// each set was compiled at registration.
 func (o *Optimizer) ruleSet() []*Rule {
 	o.rulesOnce.Do(func() {
 		if o.userRules != nil {
 			o.rules = o.userRules
-		} else {
-			o.rules = rules.Default()
+			return
 		}
+		if rs, ok := o.reg().RuleSet(DefaultRuleSetName); ok {
+			o.rules = rs
+			return
+		}
+		o.rules = rules.Default()
 	})
 	return o.rules
 }
 
 // resolve fills the zero fields of opt from the optimizer's base
 // template, then from the paper defaults, mirroring what the original
-// Optimize entry point did.
+// Optimize entry point did. The rule set and cost model each inherit
+// as one unit — object plus profile name — so a base template's
+// named profile cannot leak under a job's explicit object (or vice
+// versa).
 func (o *Optimizer) resolve(opt Options) Options {
 	b := o.base
-	if opt.Rules == nil {
+	if opt.Rules == nil && opt.RuleSet == "" {
 		opt.Rules = b.Rules
+		opt.RuleSet = b.RuleSet
 	}
-	if opt.CostModel == nil {
+	if opt.CostModel == nil && opt.CostModelName == "" {
 		opt.CostModel = b.CostModel
+		opt.CostModelName = b.CostModelName
 	}
 	if opt.NodeLimit == 0 {
 		opt.NodeLimit = b.NodeLimit
@@ -271,6 +306,20 @@ func (o *Optimizer) Submit(ctx context.Context, g *Graph, opts Options) (*Job, e
 		return nil, err
 	}
 	opts = o.resolve(opts)
+	// Validate profile names now, so a typo fails the submission with a
+	// client error instead of a dead job.
+	if opts.Rules == nil && opts.RuleSet != "" {
+		if _, ok := o.reg().RuleSet(opts.RuleSet); !ok {
+			return nil, fmt.Errorf("%w: rule set %q (known: %s)",
+				ErrUnknownProfile, opts.RuleSet, strings.Join(o.reg().RuleSetNames(), ", "))
+		}
+	}
+	if opts.CostModel == nil && opts.CostModelName != "" {
+		if _, ok := o.reg().CostModel(opts.CostModelName); !ok {
+			return nil, fmt.Errorf("%w: cost model %q (known: %s)",
+				ErrUnknownProfile, opts.CostModelName, strings.Join(o.reg().CostModelNames(), ", "))
+		}
+	}
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
 		cancel: cancel,
@@ -292,11 +341,23 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Resolution order for each profile half: an explicit object on the
+	// Options, then a registry name, then the optimizer's own default.
 	ruleset := opt.Rules
+	if ruleset == nil && opt.RuleSet != "" {
+		if rs, ok := o.reg().RuleSet(opt.RuleSet); ok {
+			ruleset = rs
+		}
+	}
 	if ruleset == nil {
 		ruleset = o.ruleSet()
 	}
 	model := opt.CostModel
+	if model == nil && opt.CostModelName != "" {
+		if m, ok := o.reg().CostModel(opt.CostModelName); ok {
+			model = m
+		}
+	}
 	if model == nil {
 		model = o.model
 	}

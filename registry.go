@@ -1,0 +1,439 @@
+package tensat
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"tensat/internal/cost"
+	"tensat/internal/rules"
+)
+
+// DeviceSpec is the declarative form of a simulated device — the JSON
+// schema of the files tensatd loads with -device-dir. See
+// internal/cost.Spec for the field reference.
+type DeviceSpec = cost.Spec
+
+// ParseDeviceSpec decodes and validates a JSON device spec.
+func ParseDeviceSpec(data []byte) (*DeviceSpec, error) { return cost.ParseSpec(data) }
+
+// Names of the built-in profiles every Registry starts with.
+const (
+	// DefaultRuleSetName is the full TASO-style set (single- and
+	// multi-pattern rules) — what an Options with no profile uses.
+	DefaultRuleSetName = "taso-default"
+	// SingleRuleSetName is the single-pattern subset.
+	SingleRuleSetName = "taso-single"
+	// DefaultCostModelName is the simulated T4 device.
+	DefaultCostModelName = "t4"
+)
+
+// ErrUnknownProfile marks a RuleSet or CostModelName that no registry
+// entry answers to; transports classify it as a client error.
+var ErrUnknownProfile = errors.New("tensat: unknown profile")
+
+// RuleSetInfo describes one registered rule set.
+type RuleSetInfo struct {
+	// Name is the registry key, selectable as Options.RuleSet.
+	Name string
+	// Hash is the content hash (rule names + canonical pattern
+	// s-expressions, see internal/rules.Hash): stable across process
+	// restarts and registry reloads as long as the rules are unchanged.
+	Hash string
+	// Rules counts the rules; MultiRules counts the multi-pattern
+	// subset of them.
+	Rules, MultiRules int
+	// Source records provenance: "builtin", a file path, or "code".
+	Source string
+}
+
+// CostModelInfo describes one registered cost model.
+type CostModelInfo struct {
+	// Name is the registry key, selectable as Options.CostModelName.
+	Name string
+	// Hash is the content hash of the device parameters (name
+	// excluded), stable across restarts while the parameters hold.
+	Hash string
+	// Params counts tunable parameters (0 for opaque Go models).
+	Params int
+	// Source records provenance: "builtin", a file path, or "code".
+	Source string
+}
+
+type ruleSetEntry struct {
+	rules []*Rule
+	info  RuleSetInfo
+}
+
+type costModelEntry struct {
+	model CostModel
+	info  CostModelInfo
+}
+
+// Registry resolves optimization profiles — named rewrite rule sets
+// and named device cost models — for Optimizer and the serving layer.
+// Every Registry starts with the built-ins (rule sets taso-default and
+// taso-single; devices t4, a100 and cpu) and can load more at runtime:
+// rule sets from .rules files (see internal/rules ParseRuleSet for the
+// line format) and cost models from JSON device specs (DeviceSpec).
+// Rules are compiled once, at registration, so resolving a name per
+// job is a map lookup — the per-rule-set generalization of the old
+// compile-once sync.Once. All methods are safe for concurrent use;
+// re-registering a name atomically replaces it, and because cache keys
+// are derived from content hashes rather than names, a reload keeps
+// serving-cache entries exactly when the content is unchanged.
+type Registry struct {
+	mu         sync.RWMutex
+	ruleSets   map[string]*ruleSetEntry
+	costModels map[string]*costModelEntry
+}
+
+// NewRegistry returns a registry holding the built-in profiles. The
+// single-pattern rules are compiled once and shared between the
+// taso-single set and the taso-default set that extends it.
+func NewRegistry() *Registry {
+	r := &Registry{
+		ruleSets:   make(map[string]*ruleSetEntry),
+		costModels: make(map[string]*costModelEntry),
+	}
+	single := rules.Single()
+	multi := rules.Multi()
+	def := append(append(make([]*Rule, 0, len(single)+len(multi)), single...), multi...)
+	r.putRuleSet(DefaultRuleSetName, def, "builtin")
+	r.putRuleSet(SingleRuleSetName, single, "builtin")
+	for _, spec := range []*DeviceSpec{cost.T4Spec(), cost.A100Spec(), cost.CPUSpec()} {
+		r.putCostModel(spec.Name, spec.Model(), spec.Hash(), spec.Params(), "builtin")
+	}
+	return r
+}
+
+// defaultRegistry builds the process-wide registry on first use, so
+// programs that never resolve a profile (custom-rules library users, a
+// CLI exiting on a usage error) skip the built-in rule compilation.
+var defaultRegistry = sync.OnceValue(NewRegistry)
+
+// DefaultRegistry returns the process-wide registry that Optimizer and
+// the serving layer use unless given another (WithRegistry,
+// serve.Config.Registry).
+func DefaultRegistry() *Registry { return defaultRegistry() }
+
+func (r *Registry) putRuleSet(name string, rs []*Rule, source string) {
+	multi := 0
+	for _, rule := range rs {
+		if rule.IsMulti() {
+			multi++
+		}
+	}
+	r.mu.Lock()
+	r.ruleSets[name] = &ruleSetEntry{
+		rules: rs,
+		info: RuleSetInfo{
+			Name:       name,
+			Hash:       rules.Hash(rs),
+			Rules:      len(rs),
+			MultiRules: multi,
+			Source:     source,
+		},
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) putCostModel(name string, m CostModel, hash string, params int, source string) {
+	r.mu.Lock()
+	r.costModels[name] = &costModelEntry{
+		model: m,
+		info:  CostModelInfo{Name: name, Hash: hash, Params: params, Source: source},
+	}
+	r.mu.Unlock()
+}
+
+// checkProfileName gates every name that enters the registry: the
+// conservative identifier alphabet shared with rule names, and never
+// "custom" — the label the serving layer reserves for programmatic
+// (unnamed) rule/model overrides.
+func checkProfileName(name string) error {
+	if err := rules.CheckName(name); err != nil {
+		return fmt.Errorf("tensat: profile %v", err)
+	}
+	if name == "custom" {
+		return fmt.Errorf("tensat: profile name %q is reserved", name)
+	}
+	return nil
+}
+
+// RegisterRuleSet registers (or replaces) a named rule set built in Go
+// code. The content hash is computed from the rules themselves.
+func (r *Registry) RegisterRuleSet(name string, rs []*Rule) error {
+	if err := checkProfileName(name); err != nil {
+		return err
+	}
+	if len(rs) == 0 {
+		return fmt.Errorf("tensat: rule set %q is empty", name)
+	}
+	r.putRuleSet(name, rs, "code")
+	return nil
+}
+
+// RegisterDevice registers (or replaces) a cost model from a validated
+// device spec, under the spec's own name.
+func (r *Registry) RegisterDevice(spec *DeviceSpec) error {
+	if spec == nil {
+		return fmt.Errorf("tensat: nil device spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := checkProfileName(spec.Name); err != nil {
+		return err
+	}
+	r.putCostModel(spec.Name, spec.Model(), spec.Hash(), spec.Params(), "code")
+	return nil
+}
+
+// RegisterCostModel registers (or replaces) an opaque Go cost model.
+// contentHash must be a stable identifier of the model's pricing
+// behavior (bump it when the model changes): it feeds the serving
+// cache key, so a stale hash would let results computed under the old
+// behavior answer requests for the new one.
+func (r *Registry) RegisterCostModel(name string, m CostModel, contentHash string) error {
+	if err := checkProfileName(name); err != nil {
+		return err
+	}
+	if m == nil {
+		return fmt.Errorf("tensat: cost model %q is nil", name)
+	}
+	if contentHash == "" {
+		return fmt.Errorf("tensat: cost model %q needs a content hash", name)
+	}
+	r.putCostModel(name, m, contentHash, 0, "code")
+	return nil
+}
+
+// parseRuleFile compiles and validates one .rules file without
+// touching the registry.
+func parseRuleFile(path string) (name string, rs []*Rule, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("tensat: %w", err)
+	}
+	name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if err := checkProfileName(name); err != nil {
+		return "", nil, fmt.Errorf("%w (derived from file name %s)", err, path)
+	}
+	rs, err = rules.ParseRuleSet(path, data)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, rs, nil
+}
+
+// LoadRuleFile loads a .rules file and registers it under the file's
+// base name (merge.rules -> "merge"). The whole file is compiled and
+// validated before anything is registered: on any error the registry
+// is unchanged.
+func (r *Registry) LoadRuleFile(path string) (RuleSetInfo, error) {
+	name, rs, err := parseRuleFile(path)
+	if err != nil {
+		return RuleSetInfo{}, err
+	}
+	r.putRuleSet(name, rs, path)
+	info, _ := r.RuleSetInfo(name)
+	return info, nil
+}
+
+// LoadRulesDir loads every *.rules file in dir (sorted by name).
+// The load is atomic across the directory: every file is compiled and
+// validated first, and one unsound file fails the whole call with the
+// registry unchanged — no half-loaded profile set.
+func (r *Registry) LoadRulesDir(dir string) ([]RuleSetInfo, error) {
+	paths, err := dirFiles(dir, ".rules")
+	if err != nil {
+		return nil, err
+	}
+	type staged struct {
+		name, path string
+		rs         []*Rule
+	}
+	stage := make([]staged, 0, len(paths))
+	for _, p := range paths {
+		name, rs, err := parseRuleFile(p)
+		if err != nil {
+			return nil, err
+		}
+		stage = append(stage, staged{name: name, path: p, rs: rs})
+	}
+	infos := make([]RuleSetInfo, 0, len(stage))
+	for _, s := range stage {
+		r.putRuleSet(s.name, s.rs, s.path)
+		info, _ := r.RuleSetInfo(s.name)
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// parseDeviceFile decodes and validates one JSON device spec without
+// touching the registry.
+func parseDeviceFile(path string) (*DeviceSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tensat: %w", err)
+	}
+	spec, err := cost.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("tensat: %s: %w", path, err)
+	}
+	if err := checkProfileName(spec.Name); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return spec, nil
+}
+
+// LoadDeviceFile loads a JSON device spec and registers its cost model
+// under the spec's "name" field; on any error the registry is
+// unchanged.
+func (r *Registry) LoadDeviceFile(path string) (CostModelInfo, error) {
+	spec, err := parseDeviceFile(path)
+	if err != nil {
+		return CostModelInfo{}, err
+	}
+	r.putCostModel(spec.Name, spec.Model(), spec.Hash(), spec.Params(), path)
+	info, _ := r.CostModelInfo(spec.Name)
+	return info, nil
+}
+
+// LoadDevicesDir loads every *.json device spec in dir (sorted by
+// name), atomically across the directory: one invalid file fails the
+// whole call with the registry unchanged.
+func (r *Registry) LoadDevicesDir(dir string) ([]CostModelInfo, error) {
+	paths, err := dirFiles(dir, ".json")
+	if err != nil {
+		return nil, err
+	}
+	type staged struct {
+		spec *DeviceSpec
+		path string
+	}
+	stage := make([]staged, 0, len(paths))
+	for _, p := range paths {
+		spec, err := parseDeviceFile(p)
+		if err != nil {
+			return nil, err
+		}
+		stage = append(stage, staged{spec: spec, path: p})
+	}
+	infos := make([]CostModelInfo, 0, len(stage))
+	for _, s := range stage {
+		r.putCostModel(s.spec.Name, s.spec.Model(), s.spec.Hash(), s.spec.Params(), s.path)
+		info, _ := r.CostModelInfo(s.spec.Name)
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+func dirFiles(dir, ext string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tensat: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ext) {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// RuleSet resolves a named rule set to its compiled rules.
+func (r *Registry) RuleSet(name string) ([]*Rule, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.ruleSets[name]
+	if !ok {
+		return nil, false
+	}
+	return e.rules, true
+}
+
+// RuleSetInfo reports a named rule set's metadata.
+func (r *Registry) RuleSetInfo(name string) (RuleSetInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.ruleSets[name]
+	if !ok {
+		return RuleSetInfo{}, false
+	}
+	return e.info, true
+}
+
+// CostModel resolves a named cost model.
+func (r *Registry) CostModel(name string) (CostModel, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.costModels[name]
+	if !ok {
+		return nil, false
+	}
+	return e.model, true
+}
+
+// CostModelInfo reports a named cost model's metadata.
+func (r *Registry) CostModelInfo(name string) (CostModelInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.costModels[name]
+	if !ok {
+		return CostModelInfo{}, false
+	}
+	return e.info, true
+}
+
+// RuleSets lists all registered rule sets, sorted by name.
+func (r *Registry) RuleSets() []RuleSetInfo {
+	r.mu.RLock()
+	out := make([]RuleSetInfo, 0, len(r.ruleSets))
+	for _, e := range r.ruleSets {
+		out = append(out, e.info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CostModels lists all registered cost models, sorted by name.
+func (r *Registry) CostModels() []CostModelInfo {
+	r.mu.RLock()
+	out := make([]CostModelInfo, 0, len(r.costModels))
+	for _, e := range r.costModels {
+		out = append(out, e.info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RuleSetNames lists registered rule set names, sorted — the "known
+// names" of an ErrUnknownProfile message.
+func (r *Registry) RuleSetNames() []string {
+	infos := r.RuleSets()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// CostModelNames lists registered cost model names, sorted.
+func (r *Registry) CostModelNames() []string {
+	infos := r.CostModels()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}

@@ -40,6 +40,22 @@
 // Optimize and OptimizeContext remain as synchronous one-shot shims
 // over this machinery.
 //
+// # Optimization profiles
+//
+// The pipeline is parameterized by its rewrite rule set and its device
+// cost model. Registry makes both first-class, content-addressed
+// resources: built-in profiles (rule sets "taso-default" and
+// "taso-single"; devices "t4", "a100", "cpu") are registered at init,
+// and more load at runtime from .rules files (one "name: lhs => rhs"
+// or "lhs <=> rhs" per line) and JSON device specs (DeviceSpec: peak
+// FLOP/s, memory bandwidth, per-op overrides). Options.RuleSet and
+// Options.CostModelName select profiles by name per job; every
+// profile carries a content hash (rule names + pattern s-exprs;
+// device parameters) that the serving layer folds into its cache key,
+// so identical graphs optimized under different profiles never share
+// a cache entry while a reloaded-but-unchanged profile keeps its
+// entries.
+//
 // # Optimization as a service
 //
 // The repository also ships the pipeline as a service.
@@ -53,14 +69,18 @@
 // HTTP+JSON:
 //
 //	POST   /v1/jobs             — submit a job (202 + id)
+//	GET    /v1/jobs             — list tracked jobs (status, age, profile)
 //	GET    /v1/jobs/{id}        — status + live progress
 //	GET    /v1/jobs/{id}/result — the result once done
 //	DELETE /v1/jobs/{id}        — cancel
 //	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/rulesets         — named rule sets + content hashes
+//	GET    /v1/costmodels       — named cost models + content hashes
 //	GET    /v1/version          — build/runtime identification
-//	GET    /stats               — cache, latency and job counters
-//	GET    /healthz             — liveness
+//	GET    /v1/stats            — cache, latency, job and profile counters
+//	GET    /v1/healthz          — liveness
 //	POST   /optimize            — deprecated synchronous shim
+//	GET    /stats, /healthz     — deprecated pre-/v1 spellings
 //
 // Graphs travel in the textual wire format of Graph.MarshalText
 // (S-expressions with let-bindings for shared subgraphs; see
@@ -161,6 +181,15 @@ type Options struct {
 	Rules []*Rule
 	// CostModel prices operators; nil means DefaultCostModel.
 	CostModel CostModel
+	// RuleSet selects a named rule set from the optimizer's Registry
+	// (e.g. "taso-default", "taso-single", or a loaded .rules profile).
+	// It applies only when Rules is nil; "" means the default set. An
+	// unknown name fails Submit with ErrUnknownProfile.
+	RuleSet string
+	// CostModelName selects a named cost model from the Registry (e.g.
+	// "t4", "a100", "cpu", or a loaded device spec). It applies only
+	// when CostModel is nil; "" means the optimizer's default device.
+	CostModelName string
 	// NodeLimit bounds the e-graph size (paper: 50000).
 	NodeLimit int
 	// IterLimit bounds exploration iterations (paper: 15).
