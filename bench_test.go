@@ -13,10 +13,14 @@ package tensat_test
 import (
 	"encoding/json"
 	"os"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"tensat/internal/egraph"
 	"tensat/internal/exp"
+	"tensat/internal/pattern"
 	"tensat/internal/rewrite"
 	"tensat/internal/rules"
 )
@@ -25,21 +29,38 @@ import (
 // benchmark pair below (the acceptance point of the Workers knob).
 const searchBenchWorkers = 4
 
-// searchBench accumulates the sequential-vs-parallel search-phase
-// numbers; when both benchmarks have run, TestMain writes the summary
-// to BENCH_search.json so CI can track the speedup over time.
+// searchBench accumulates the search-phase numbers: the explore-level
+// sequential-vs-parallel split (Workers knob) and the matcher-level
+// interpreter-vs-compiled split (the PR-5 engine swap). When the
+// benchmarks have run, TestMain writes the summary to
+// BENCH_search.json so CI can track both speedups over time.
+// GOMAXPROCS is recorded because the parallel speedup is only
+// meaningful with that many hardware threads to fan out over.
 var searchBench = struct {
 	Benchmark            string  `json:"benchmark"`
 	Workers              int     `json:"workers"`
+	GOMAXPROCS           int     `json:"gomaxprocs"`
 	SequentialSearchNsOp float64 `json:"sequential_search_ns_per_op"`
 	ParallelSearchNsOp   float64 `json:"parallel_search_ns_per_op"`
 	Speedup              float64 `json:"speedup"`
+	InterpreterNsOp      float64 `json:"interpreter_ns_per_op"`
+	CompiledNsOp         float64 `json:"compiled_ns_per_op"`
+	MatcherSpeedup       float64 `json:"matcher_speedup"`
 }{Benchmark: "explore-search-seq-vs-parallel", Workers: searchBenchWorkers}
 
 func TestMain(m *testing.M) {
 	code := m.Run()
+	dirty := false
 	if searchBench.SequentialSearchNsOp > 0 && searchBench.ParallelSearchNsOp > 0 {
 		searchBench.Speedup = searchBench.SequentialSearchNsOp / searchBench.ParallelSearchNsOp
+		dirty = true
+	}
+	if searchBench.InterpreterNsOp > 0 && searchBench.CompiledNsOp > 0 {
+		searchBench.MatcherSpeedup = searchBench.InterpreterNsOp / searchBench.CompiledNsOp
+		dirty = true
+	}
+	if dirty {
+		searchBench.GOMAXPROCS = runtime.GOMAXPROCS(0)
 		if data, err := json.MarshalIndent(searchBench, "", "  "); err == nil {
 			_ = os.WriteFile("BENCH_search.json", append(data, '\n'), 0o644)
 		}
@@ -83,6 +104,91 @@ func BenchmarkSearchSequential(b *testing.B) {
 // fanned out over a frozen e-graph view on 4 workers.
 func BenchmarkSearchParallel(b *testing.B) {
 	searchBench.ParallelSearchNsOp = exploreSearchNs(b, searchBenchWorkers)
+}
+
+// matcherBench lazily builds the matcher benchmark fixture: a nasrnn
+// e-graph explored to the search benchmark's size, frozen, plus the
+// rule set's canonical patterns (deduplicated exactly as the runner
+// does) with their compiled programs.
+var matcherBench struct {
+	once  sync.Once
+	err   error
+	view  *egraph.View
+	pats  []*pattern.Pat
+	progs []*pattern.Program
+}
+
+func matcherFixture(b *testing.B) (*egraph.View, []*pattern.Pat, []*pattern.Program) {
+	b.Helper()
+	// Failures are stored, not b.Fatal-ed, inside the once: a Fatal
+	// would mark the once done and leave the sibling benchmark to
+	// nil-deref instead of reporting the real fixture error.
+	matcherBench.once.Do(func() {
+		g := nasrnnGraph(b)
+		r := rewrite.NewRunner(rules.Default())
+		r.Limits = rewrite.Limits{MaxNodes: 8000, MaxIters: 6, KMulti: 1, Timeout: time.Hour}
+		r.Workers = 1
+		ex, err := r.Run(g)
+		if err != nil {
+			matcherBench.err = err
+			return
+		}
+		matcherBench.view = ex.G.Freeze()
+		// The exact canonical pattern set the production search phase
+		// runs, shared dedup logic included — so the interpreter and
+		// compiled benchmarks measure the real workload.
+		matcherBench.pats, matcherBench.progs = rewrite.CompileRules(rules.Default()).CanonicalPatterns()
+	})
+	if matcherBench.err != nil {
+		b.Fatal(matcherBench.err)
+	}
+	return matcherBench.view, matcherBench.pats, matcherBench.progs
+}
+
+// BenchmarkMatcherInterpreter measures one full sequential search of
+// every canonical pattern over the explored nasrnn e-graph using the
+// old tree-walking interpreter (pattern.ReferenceSearchClasses): the
+// pre-PR-5 engine, full class scan per pattern.
+func BenchmarkMatcherInterpreter(b *testing.B) {
+	view, pats, _ := matcherFixture(b)
+	classes := view.Classes()
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, p := range pats {
+			total += len(pattern.ReferenceSearchClasses(view, p, classes))
+		}
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("interpreter found no matches; workload broken")
+	}
+	searchBench.InterpreterNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+}
+
+// BenchmarkMatcherCompiled measures the same full search with the
+// compiled engine: pattern programs (compiled once, outside the
+// timer) scanning only each pattern's op-index candidate classes.
+func BenchmarkMatcherCompiled(b *testing.B) {
+	view, _, progs := matcherFixture(b)
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, prog := range progs {
+			classes := view.Classes()
+			if op, ok := prog.RootOp(); ok {
+				classes = view.ByOp(op)
+			}
+			total += len(prog.AppendMatches(nil, view, classes))
+		}
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("compiled engine found no matches; workload broken")
+	}
+	searchBench.CompiledNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 }
 
 // benchConfig sizes experiments so the full suite finishes in minutes.

@@ -26,6 +26,12 @@ type Class struct {
 	Data   any     // analysis data
 
 	parents []parentRef
+	// touched is the e-graph mutation version at which this class last
+	// changed shape: when it was created, or when a union merged nodes
+	// into it. View.DirtySince uses it (with an upward closure through
+	// parents) to find the classes whose match sets may have changed
+	// since an earlier freeze.
+	touched uint64
 }
 
 // EGraph is a mutable e-graph. The zero value is not usable; call New.
@@ -99,7 +105,7 @@ func (g *EGraph) Add(n Node) ClassID {
 	id := g.uf.makeSet()
 	g.stamp++
 	g.version++
-	cls := &Class{ID: id, Nodes: []Node{cn}, Stamps: []int64{g.stamp}}
+	cls := &Class{ID: id, Nodes: []Node{cn}, Stamps: []int64{g.stamp}, touched: g.version}
 	cls.Data = g.analysis.Make(g, cn)
 	g.classes[id] = cls
 	for _, ch := range cn.Children {
@@ -146,6 +152,7 @@ func (g *EGraph) Union(a, b ClassID) (ClassID, bool) {
 	keep.Nodes = append(keep.Nodes, lose.Nodes...)
 	keep.Stamps = append(keep.Stamps, lose.Stamps...)
 	keep.parents = append(keep.parents, lose.parents...)
+	keep.touched = g.version
 	merged, changed := g.analysis.Merge(keep.Data, lose.Data)
 	keep.Data = merged
 	delete(g.classes, other)

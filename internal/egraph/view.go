@@ -11,6 +11,13 @@ import "sort"
 // performs no writes, so any number of goroutines may call its methods
 // concurrently.
 //
+// Beyond the canonical tables, a view carries two search accelerators:
+// an operator index (ByOp: root Op -> the sorted classes containing a
+// node with that op, so a pattern rooted at matmul only visits
+// matmul-bearing classes) and the dirty-class query DirtySince, which
+// reports the classes whose match sets may have changed since an
+// earlier freeze (the basis of incremental re-search).
+//
 // Contract: the view reflects the e-graph at the moment of the Freeze
 // call and is invalidated by any subsequent mutation (Add, Union,
 // Rebuild). Using a stale view is a logic error; Stale reports whether
@@ -21,6 +28,7 @@ type View struct {
 	find    []ClassID          // id -> canonical representative
 	byID    map[ClassID]*Class // canonical id -> class
 	classes []*Class           // canonical classes, sorted by ID
+	byOp    map[Op][]*Class    // op -> classes with a node of that op, sorted by ID
 }
 
 // Freeze captures a read-only canonical view of g. The e-graph must be
@@ -37,6 +45,7 @@ func (g *EGraph) Freeze() *View {
 		find:    make([]ClassID, g.uf.size()),
 		byID:    make(map[ClassID]*Class, len(g.classes)),
 		classes: make([]*Class, 0, len(g.classes)),
+		byOp:    make(map[Op][]*Class),
 	}
 	for i := range v.find {
 		v.find[i] = g.uf.find(ClassID(i))
@@ -46,6 +55,17 @@ func (g *EGraph) Freeze() *View {
 		v.classes = append(v.classes, cls)
 	}
 	sort.Slice(v.classes, func(i, j int) bool { return v.classes[i].ID < v.classes[j].ID })
+	// The op index inherits ascending-ID order from the class walk, so a
+	// per-op candidate scan visits classes in exactly the order a full
+	// scan would — pruning never reorders matches. The last-element check
+	// dedupes a class holding several nodes of one op.
+	for _, cls := range v.classes {
+		for _, n := range cls.Nodes {
+			if l := v.byOp[n.Op]; len(l) == 0 || l[len(l)-1] != cls {
+				v.byOp[n.Op] = append(v.byOp[n.Op], cls)
+			}
+		}
+	}
 	return v
 }
 
@@ -68,8 +88,56 @@ func (v *View) Class(id ClassID) *Class {
 // to shard a scan across goroutines; they must not modify it.
 func (v *View) Classes() []*Class { return v.classes }
 
+// ByOp returns the canonical classes containing at least one node with
+// the given op, in ascending ID order — the candidate list for a
+// pattern rooted at op. Scanning only these classes yields exactly the
+// matches a full Classes scan would, in the same order, because a class
+// without the root op can root no match. Callers must not modify the
+// returned slice.
+func (v *View) ByOp(op Op) []*Class { return v.byOp[op] }
+
 // ClassCount returns the number of e-classes in the snapshot.
 func (v *View) ClassCount() int { return len(v.classes) }
+
+// Version returns the e-graph mutation version this view was frozen
+// at. Feed it to a later view's DirtySince to enumerate the classes
+// touched in between.
+func (v *View) Version() uint64 { return v.version }
+
+// DirtySince reports the canonical classes whose match sets may have
+// changed since the freeze at version since: every class created or
+// merged into after that version, closed upward through parent edges.
+// The upward closure is what makes incremental re-search sound — a
+// pattern rooted at an untouched class C can still gain or lose
+// matches when a descendant class (reached through C's nodes) gains
+// nodes, and every such C is an ancestor of a touched class.
+//
+// Conversely, a class not in the returned set has its entire downward
+// reachable region unchanged, so matches rooted at it are exactly what
+// they were at version since (with all bound class ids still
+// canonical). The view must be fresh (not Stale).
+func (v *View) DirtySince(since uint64) map[ClassID]bool {
+	dirty := make(map[ClassID]bool)
+	var queue []*Class
+	for _, cls := range v.classes {
+		if cls.touched > since {
+			dirty[cls.ID] = true
+			queue = append(queue, cls)
+		}
+	}
+	for len(queue) > 0 {
+		cls := queue[0]
+		queue = queue[1:]
+		for _, p := range cls.parents {
+			pid := v.find[p.class]
+			if !dirty[pid] {
+				dirty[pid] = true
+				queue = append(queue, v.byID[pid])
+			}
+		}
+	}
+	return dirty
+}
 
 // Stale reports whether the source e-graph has been mutated (Add,
 // Union, or a Rebuild that had work to do) since the view was frozen.

@@ -1,0 +1,210 @@
+package pattern
+
+import (
+	"sync"
+
+	"tensat/internal/egraph"
+)
+
+// This file implements the compiled e-matching engine. A Pat is
+// compiled once (Compile) into a Program: a flat instruction sequence
+// over an integer register file, in the style of egg's e-matching
+// virtual machine. Register 0 holds the candidate root e-class; a bind
+// instruction enumerates the nodes of a class that carry the pattern's
+// operator and payloads, writing the canonical children classes into
+// fresh registers; a compare instruction enforces non-linear variables
+// (a variable occurring twice must bind the same e-class). Variables
+// are register slots, so a match's substitution is a flat []ClassID
+// instead of a string-keyed map, and the per-binding map clone of the
+// old tree-walking interpreter disappears from the hot loop entirely.
+//
+// The enumeration order is exactly the interpreter's: for every class
+// in the given scan order, nodes in class order, child choices nested
+// left-to-right depth-first. ReferenceSearchClasses (reference.go)
+// preserves the old interpreter as the oracle the differential tests
+// compare against.
+
+type instKind uint8
+
+const (
+	// instBind enumerates the nodes of class regs[a] with the
+	// instruction's op/payloads/arity, writing canonical children into
+	// regs[out:out+arity] and running the rest of the program for each.
+	instBind instKind = iota
+	// instCompare requires regs[a] == regs[b] (both canonical): the
+	// consistency check for a repeated variable.
+	instCompare
+)
+
+type inst struct {
+	kind  instKind
+	a, b  int
+	op    egraph.Op
+	i64   int64
+	str   string
+	arity int
+	out   int
+}
+
+// Program is a compiled pattern. Compile once, match many times; a
+// Program is immutable after compilation and safe for concurrent use
+// from any number of goroutines (each match run draws a private
+// register machine from an internal pool).
+type Program struct {
+	src     *Pat
+	insts   []inst
+	nregs   int
+	varRegs []int    // register holding each variable, first-occurrence order
+	vars    []string // variable names, parallel to varRegs
+	rootOp  egraph.Op
+	rootVar bool // the pattern is a bare variable: matches every class
+
+	pool sync.Pool // *machine
+}
+
+// machine is the mutable register file of one match run.
+type machine struct {
+	regs []egraph.ClassID
+}
+
+// Compile translates p into its instruction program.
+func Compile(p *Pat) *Program {
+	pr := &Program{src: p}
+	varReg := make(map[string]int)
+	next := 1 // register 0 is the root class
+	var walk func(q *Pat, reg int)
+	walk = func(q *Pat, reg int) {
+		if q.IsVar() {
+			if prev, ok := varReg[q.Var]; ok {
+				pr.insts = append(pr.insts, inst{kind: instCompare, a: reg, b: prev})
+				return
+			}
+			varReg[q.Var] = reg
+			pr.varRegs = append(pr.varRegs, reg)
+			pr.vars = append(pr.vars, q.Var)
+			return
+		}
+		in := inst{
+			kind:  instBind,
+			a:     reg,
+			op:    egraph.Op(q.Op),
+			i64:   q.Int,
+			str:   q.Str,
+			arity: len(q.Children),
+			out:   next,
+		}
+		next += len(q.Children)
+		pr.insts = append(pr.insts, in)
+		for i, c := range q.Children {
+			walk(c, in.out+i)
+		}
+	}
+	walk(p, 0)
+	pr.nregs = next
+	if p.IsVar() {
+		pr.rootVar = true
+	} else {
+		pr.rootOp = egraph.Op(p.Op)
+	}
+	return pr
+}
+
+// Pat returns the pattern the program was compiled from.
+func (pr *Program) Pat() *Pat { return pr.src }
+
+// Vars returns the pattern's variables in first-occurrence order — the
+// slot order of Compact.Bind. Callers must not modify the slice.
+func (pr *Program) Vars() []string { return pr.vars }
+
+// RootOp returns the operator at the pattern root and true, or ok=false
+// when the pattern is a bare variable and every class is a candidate.
+func (pr *Program) RootOp() (op egraph.Op, ok bool) {
+	return pr.rootOp, !pr.rootVar
+}
+
+// Compact is one match produced by a compiled program: the root
+// e-class plus the variable bindings as a flat array in Vars order.
+// Bind aliases a shared arena; treat it as read-only.
+type Compact struct {
+	Class egraph.ClassID
+	Bind  []egraph.ClassID
+}
+
+// Subst expands a compact match into the map form of the classic API.
+func (pr *Program) Subst(m Compact) Subst {
+	s := make(Subst, len(pr.vars))
+	for i, v := range pr.vars {
+		s[v] = m.Bind[i]
+	}
+	return s
+}
+
+func (pr *Program) newMachine() *machine {
+	if m, ok := pr.pool.Get().(*machine); ok {
+		return m
+	}
+	return &machine{regs: make([]egraph.ClassID, pr.nregs)}
+}
+
+// bindArenaMin sizes the chunks the binding arena grows by, amortizing
+// one allocation over many matches.
+const bindArenaMin = 512
+
+// AppendMatches scans classes in order, appending every match rooted
+// at each class to dst. The scan order and per-class enumeration order
+// reproduce the reference interpreter exactly, so sharded scans
+// concatenated in shard order equal one whole scan. The register
+// machine is pooled and match bindings are carved from a shared arena,
+// so a scan performs O(matches/chunk) allocations rather than
+// O(bindings).
+func (pr *Program) AppendMatches(dst []Compact, src Source, classes []*egraph.Class) []Compact {
+	m := pr.newMachine()
+	defer pr.pool.Put(m)
+	nv := len(pr.varRegs)
+	var arena []egraph.ClassID
+	var root egraph.ClassID
+	var exec func(pc int)
+	exec = func(pc int) {
+		for pc < len(pr.insts) {
+			in := &pr.insts[pc]
+			if in.kind == instCompare {
+				if m.regs[in.a] != m.regs[in.b] {
+					return
+				}
+				pc++
+				continue
+			}
+			cls := src.Class(m.regs[in.a])
+			for ni := range cls.Nodes {
+				n := &cls.Nodes[ni]
+				if n.Op != in.op || n.Int != in.i64 || n.Str != in.str || len(n.Children) != in.arity {
+					continue
+				}
+				for k, ch := range n.Children {
+					m.regs[in.out+k] = src.Find(ch)
+				}
+				exec(pc + 1)
+			}
+			return
+		}
+		// All instructions satisfied: record the match.
+		if cap(arena)-len(arena) < nv {
+			size := bindArenaMin
+			if size < nv {
+				size = nv
+			}
+			arena = make([]egraph.ClassID, 0, size)
+		}
+		start := len(arena)
+		for _, r := range pr.varRegs {
+			arena = append(arena, m.regs[r])
+		}
+		dst = append(dst, Compact{Class: root, Bind: arena[start:len(arena):len(arena)]})
+	}
+	for _, cls := range classes {
+		root = src.Find(cls.ID)
+		m.regs[0] = root
+		exec(0)
+	}
+	return dst
+}

@@ -1,0 +1,165 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tensat/internal/egraph"
+	"tensat/internal/tensor"
+)
+
+// This file is the transition oracle of the compiled e-matching
+// engine: on random e-graphs and random patterns, the compiled VM
+// must produce the exact match list — same multiset, same order, same
+// bindings — as the reference tree-walking interpreter it replaced.
+
+// fuzzOps is the operator vocabulary of the random graphs/patterns:
+// string leaves, a unary op, and two binary ops.
+var fuzzOps = struct {
+	leaf, un, bin1, bin2 egraph.Op
+}{egraph.Op(tensor.OpInput), egraph.Op(tensor.OpRelu), egraph.Op(tensor.OpEwadd), egraph.Op(tensor.OpEwmul)}
+
+// randomEGraph builds a random e-graph: a pool of leaves, ~size random
+// operator nodes over existing classes, then a handful of unions (so
+// classes hold several nodes and congruence merges fire) and a rebuild.
+func randomEGraph(rng *rand.Rand, size int) *egraph.EGraph {
+	g := egraph.New(nil)
+	var ids []egraph.ClassID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, g.Add(egraph.StrNode(fuzzOps.leaf, fmt.Sprintf("x%d", i))))
+	}
+	pick := func() egraph.ClassID { return ids[rng.Intn(len(ids))] }
+	for i := 0; i < size; i++ {
+		var n egraph.Node
+		switch rng.Intn(3) {
+		case 0:
+			n = egraph.NewNode(fuzzOps.un, pick())
+		case 1:
+			n = egraph.NewNode(fuzzOps.bin1, pick(), pick())
+		default:
+			n = egraph.NewNode(fuzzOps.bin2, pick(), pick())
+		}
+		ids = append(ids, g.Add(n))
+	}
+	for i := 0; i < 1+size/8; i++ {
+		g.Union(pick(), pick())
+	}
+	g.Rebuild()
+	return g
+}
+
+// randomPat builds a random pattern of bounded depth over the fuzz
+// vocabulary. Variables draw from a pool of three names, so repeated
+// variables (non-linear patterns) occur regularly.
+func randomPat(rng *rand.Rand, depth int) *Pat {
+	vars := []string{"?a", "?b", "?c"}
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(4) == 0 {
+			return &Pat{Op: tensor.Op(fuzzOps.leaf), Str: fmt.Sprintf("x%d", rng.Intn(4))}
+		}
+		return &Pat{Var: vars[rng.Intn(len(vars))]}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Pat{Op: tensor.Op(fuzzOps.un), Children: []*Pat{randomPat(rng, depth-1)}}
+	case 1:
+		return &Pat{Op: tensor.Op(fuzzOps.bin1), Children: []*Pat{randomPat(rng, depth-1), randomPat(rng, depth-1)}}
+	default:
+		return &Pat{Op: tensor.Op(fuzzOps.bin2), Children: []*Pat{randomPat(rng, depth-1), randomPat(rng, depth-1)}}
+	}
+}
+
+// assertSameMatches compares two match lists exactly: length, order,
+// root classes and full substitutions.
+func assertSameMatches(t *testing.T, label string, want, got []Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d matches, reference found %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Class != got[i].Class {
+			t.Fatalf("%s: match %d rooted at e%d, reference at e%d", label, i, got[i].Class, want[i].Class)
+		}
+		if len(want[i].Subst) != len(got[i].Subst) {
+			t.Fatalf("%s: match %d binds %d vars, reference %d", label, i, len(got[i].Subst), len(want[i].Subst))
+		}
+		for v, id := range want[i].Subst {
+			if got[i].Subst[v] != id {
+				t.Fatalf("%s: match %d binds %s=e%d, reference e%d", label, i, v, got[i].Subst[v], id)
+			}
+		}
+	}
+}
+
+// TestDifferentialCompiledVsInterpreter runs the compiled engine and
+// the reference interpreter over random graphs and patterns, asserting
+// identical match lists (order included, which is stronger than the
+// multiset equality the runner needs).
+func TestDifferentialCompiledVsInterpreter(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomEGraph(rng, 24+rng.Intn(40))
+		v := g.Freeze()
+		classes := v.Classes()
+		for pi := 0; pi < 8; pi++ {
+			p := randomPat(rng, 1+rng.Intn(3))
+			label := fmt.Sprintf("seed %d pattern %s", seed, p)
+			want := ReferenceSearchClasses(v, p, classes)
+			assertSameMatches(t, label, want, SearchClasses(v, p, classes))
+
+			// Sharded compiled scans concatenated in shard order must
+			// equal the whole scan.
+			prog := Compile(p)
+			var sharded []Compact
+			for lo := 0; lo < len(classes); {
+				hi := lo + 1 + rng.Intn(7)
+				if hi > len(classes) {
+					hi = len(classes)
+				}
+				sharded = prog.AppendMatches(sharded, v, classes[lo:hi])
+				lo = hi
+			}
+			whole := prog.AppendMatches(nil, v, classes)
+			if len(sharded) != len(whole) {
+				t.Fatalf("%s: sharded scan found %d, whole %d", label, len(sharded), len(whole))
+			}
+			for i := range whole {
+				if whole[i].Class != sharded[i].Class {
+					t.Fatalf("%s: sharded match %d differs", label, i)
+				}
+				for k := range whole[i].Bind {
+					if whole[i].Bind[k] != sharded[i].Bind[k] {
+						t.Fatalf("%s: sharded binding %d/%d differs", label, i, k)
+					}
+				}
+			}
+
+			// Op-index pruning must not change the match list: scanning
+			// only the root op's candidate classes equals the full scan.
+			if op, ok := prog.RootOp(); ok {
+				assertSameMatches(t, label+" (pruned)", want, SearchClasses(v, p, v.ByOp(op)))
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesMutableEGraph checks the mutable-EGraph entry
+// points (Search/SearchClass) agree with the reference interpreter —
+// the library-user path that never touches View shares the engine.
+func TestCompiledMatchesMutableEGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomEGraph(rng, 48)
+	var classes []*egraph.Class
+	g.Classes(func(cls *egraph.Class) { classes = append(classes, cls) })
+	for pi := 0; pi < 12; pi++ {
+		p := randomPat(rng, 1+rng.Intn(3))
+		label := fmt.Sprintf("pattern %s", p)
+		want := ReferenceSearchClasses(g, p, classes)
+		assertSameMatches(t, label, want, Search(g, p))
+		for _, cls := range classes {
+			cwant := ReferenceSearchClasses(g, p, []*egraph.Class{cls})
+			assertSameMatches(t, label+" (class)", cwant, SearchClass(g, p, cls.ID))
+		}
+	}
+}

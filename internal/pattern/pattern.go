@@ -250,6 +250,9 @@ type Source interface {
 
 // Search finds all matches of p anywhere in g. Bindings are
 // canonicalized class ids. The e-graph must be clean (rebuilt).
+// Like every entry point below it runs the compiled engine
+// (compile.go); callers matching the same pattern repeatedly should
+// Compile once and use Program.AppendMatches directly.
 func Search(g *egraph.EGraph, p *Pat) []Match {
 	var classes []*egraph.Class
 	g.Classes(func(cls *egraph.Class) { classes = append(classes, cls) })
@@ -268,62 +271,21 @@ func SearchView(v *egraph.View, p *Pat) []Match {
 // SearchClasses call per goroutine — and concatenated in shard order
 // to reproduce the sequential result exactly.
 func SearchClasses(src Source, p *Pat, classes []*egraph.Class) []Match {
-	var out []Match
-	for _, cls := range classes {
-		for _, s := range matchClass(src, p, cls.ID, Subst{}) {
-			out = append(out, Match{Class: cls.ID, Subst: s})
-		}
+	prog := Compile(p)
+	cms := prog.AppendMatches(nil, src, classes)
+	if len(cms) == 0 {
+		return nil
+	}
+	out := make([]Match, len(cms))
+	for i, cm := range cms {
+		out[i] = Match{Class: cm.Class, Subst: prog.Subst(cm)}
 	}
 	return out
 }
 
 // SearchClass finds matches of p rooted at a specific e-class.
 func SearchClass(g *egraph.EGraph, p *Pat, class egraph.ClassID) []Match {
-	var out []Match
-	for _, s := range matchClass(g, p, g.Find(class), Subst{}) {
-		out = append(out, Match{Class: g.Find(class), Subst: s})
-	}
-	return out
-}
-
-// matchClass returns all extensions of subst that match p against the
-// e-class id.
-func matchClass(g Source, p *Pat, id egraph.ClassID, subst Subst) []Subst {
-	id = g.Find(id)
-	if p.IsVar() {
-		if bound, ok := subst[p.Var]; ok {
-			if g.Find(bound) != id {
-				return nil
-			}
-			return []Subst{subst}
-		}
-		next := subst.Clone()
-		next[p.Var] = id
-		return []Subst{next}
-	}
-	var results []Subst
-	cls := g.Class(id)
-	for _, n := range cls.Nodes {
-		if n.Op != egraph.Op(p.Op) || n.Int != p.Int || n.Str != p.Str {
-			continue
-		}
-		if len(n.Children) != len(p.Children) {
-			continue
-		}
-		partial := []Subst{subst}
-		for i, cp := range p.Children {
-			var next []Subst
-			for _, s := range partial {
-				next = append(next, matchClass(g, cp, n.Children[i], s)...)
-			}
-			partial = next
-			if len(partial) == 0 {
-				break
-			}
-		}
-		results = append(results, partial...)
-	}
-	return results
+	return SearchClasses(g, p, []*egraph.Class{g.Class(class)})
 }
 
 // Instantiate adds the pattern (with variables substituted) to the

@@ -1,0 +1,150 @@
+package rewrite
+
+import (
+	"tensat/internal/egraph"
+	"tensat/internal/pattern"
+)
+
+// CompiledRules is the reusable compiled form of a rule set: the
+// canonicalized source-pattern set of Algorithm 1 (lines 1-8), with
+// each canonical pattern compiled once into a pattern.Program (the
+// flat-instruction e-matching VM). Compile a rule set once — at rule
+// registration — and share it across any number of concurrent runs:
+// a CompiledRules is immutable and safe for concurrent use; all
+// per-run search state lives in the Runner's exploration.
+type CompiledRules struct {
+	// Rules is the rule set this was compiled from, in order.
+	Rules []*Rule
+
+	pats []*compiledPat
+	refs map[*Rule][]sourceRef
+}
+
+// compiledPat is one canonical source pattern, searched once per
+// iteration and shared by every rule source that renames to it.
+type compiledPat struct {
+	pat  *pattern.Pat
+	prog *pattern.Program
+}
+
+// sourceRef ties a rule's i-th source to its canonical pattern (by
+// index into pats) and the rename map used to decanonicalize matches.
+type sourceRef struct {
+	pat  int
+	back map[string]string // canonical var -> original var
+}
+
+// CompileRules canonicalizes and compiles a rule set. Patterns that
+// differ only by variable naming share one canonical program, so the
+// per-iteration search runs once per canonical form.
+func CompileRules(rules []*Rule) *CompiledRules {
+	cr := &CompiledRules{Rules: rules, refs: make(map[*Rule][]sourceRef, len(rules))}
+	index := make(map[string]int)
+	for _, rule := range rules {
+		for _, src := range rule.Sources {
+			cp, back := src.Canonical()
+			key := cp.String()
+			i, ok := index[key]
+			if !ok {
+				i = len(cr.pats)
+				index[key] = i
+				cr.pats = append(cr.pats, &compiledPat{pat: cp, prog: pattern.Compile(cp)})
+			}
+			cr.refs[rule] = append(cr.refs[rule], sourceRef{pat: i, back: back})
+		}
+	}
+	return cr
+}
+
+// Patterns reports how many canonical patterns the rule set compiled
+// to (informational; distinct rules often share canonical sources).
+func (cr *CompiledRules) Patterns() int { return len(cr.pats) }
+
+// CanonicalPatterns returns the canonical source patterns and their
+// compiled programs as parallel slices in first-seen order — the exact
+// pattern set the search phase runs, for benchmarks and diagnostics.
+// Callers must not modify the slices.
+func (cr *CompiledRules) CanonicalPatterns() ([]*pattern.Pat, []*pattern.Program) {
+	pats := make([]*pattern.Pat, len(cr.pats))
+	progs := make([]*pattern.Program, len(cr.pats))
+	for i, cp := range cr.pats {
+		pats[i] = cp.pat
+		progs[i] = cp.prog
+	}
+	return pats, progs
+}
+
+// compiledFor reports whether cr was compiled from exactly this rule
+// slice (element identity), so a Runner can trust a caller-supplied
+// compilation and recompile otherwise.
+func (cr *CompiledRules) compiledFor(rules []*Rule) bool {
+	if cr == nil || len(cr.Rules) != len(rules) {
+		return false
+	}
+	for i, r := range rules {
+		if cr.Rules[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// substFor decanonicalizes one compact match into the map substitution
+// rule application consumes: canonical slot i holds variable
+// prog.Vars()[i], renamed through back (DECANONICAL of Algorithm 1).
+func substFor(prog *pattern.Program, back map[string]string, m pattern.Compact) pattern.Subst {
+	vars := prog.Vars()
+	s := make(pattern.Subst, len(vars))
+	for i, v := range vars {
+		if orig, ok := back[v]; ok {
+			v = orig
+		}
+		s[v] = m.Bind[i]
+	}
+	return s
+}
+
+// searchState carries the incremental e-matching memo across the
+// iterations of one exploration run: the complete per-pattern match
+// lists of the previous iteration's frozen view, and the view version
+// they were computed at. On the next iteration only classes dirty
+// since that version are re-searched; clean classes answer from the
+// memo (see View.DirtySince for why that is sound).
+type searchState struct {
+	matches [][]pattern.Compact // per compiledPat: latest complete match list
+	version uint64              // view version the lists were computed at
+	valid   bool                // false until one full search completes
+}
+
+// mergeMatches builds a pattern's current match list by walking the
+// candidate classes in ascending ID order, taking fresh results for
+// dirty classes and memoized results for clean ones. Both inputs are
+// ascending by root class, so the output is byte-identical to a full
+// rescan of the candidate list.
+func mergeMatches(cands []*egraph.Class, dirty map[egraph.ClassID]bool,
+	memo, fresh []pattern.Compact) []pattern.Compact {
+
+	out := make([]pattern.Compact, 0, len(memo)+len(fresh))
+	mi, fi := 0, 0
+	for _, cls := range cands {
+		id := cls.ID
+		if dirty[id] {
+			for fi < len(fresh) && fresh[fi].Class < id {
+				fi++
+			}
+			for fi < len(fresh) && fresh[fi].Class == id {
+				out = append(out, fresh[fi])
+				fi++
+			}
+		} else {
+			for mi < len(memo) && memo[mi].Class < id {
+				mi++
+			}
+			for mi < len(memo) && memo[mi].Class == id {
+				out = append(out, memo[mi])
+				mi++
+			}
+		}
+	}
+	return out
+}

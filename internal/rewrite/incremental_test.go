@@ -1,0 +1,151 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tensat/internal/egraph"
+	"tensat/internal/pattern"
+	"tensat/internal/tensor"
+)
+
+// incrementalRules is a pattern mix exercising the interesting shapes:
+// shallow and nested, linear and non-linear, plus shared canonical
+// sources (the last two rules canonicalize to the same program).
+func incrementalRules() []*Rule {
+	return []*Rule{
+		MustRule("comm", "(ewadd ?a ?b)", "(ewadd ?b ?a)"),
+		MustRule("nest", "(ewmul (ewadd ?x ?y) ?z)", "(ewadd (ewmul ?x ?z) (ewmul ?y ?z))"),
+		MustRule("same", "(ewadd ?a ?a)", "(ewmul ?a ?a)"),
+		MustRule("deep", "(relu (ewadd ?a ?b))", "(relu (ewadd ?b ?a))"),
+		MustRule("alias", "(relu (ewadd ?p ?q))", "(relu (ewadd ?q ?p))"),
+	}
+}
+
+// mutate applies a random batch of adds and unions to g, returning
+// whether anything changed.
+func mutate(rng *rand.Rand, g *egraph.EGraph, ids *[]egraph.ClassID) bool {
+	changed := false
+	pick := func() egraph.ClassID { return (*ids)[rng.Intn(len(*ids))] }
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		switch rng.Intn(3) {
+		case 0:
+			before := g.NodeCount()
+			*ids = append(*ids, g.Add(egraph.NewNode(egraph.Op(tensor.OpEwadd), pick(), pick())))
+			changed = changed || g.NodeCount() != before
+		case 1:
+			before := g.NodeCount()
+			*ids = append(*ids, g.Add(egraph.NewNode(egraph.Op(tensor.OpRelu), pick())))
+			changed = changed || g.NodeCount() != before
+		default:
+			if _, ch := g.Union(pick(), pick()); ch {
+				changed = true
+			}
+		}
+	}
+	g.Rebuild()
+	return changed
+}
+
+// TestIncrementalSearchEqualsFullRescan drives searchAll through
+// several freeze → search → mutate rounds, comparing the incremental
+// match lists (dirty re-search merged with the memo) against a fresh
+// full search of the same view. This is the dirty-set completeness
+// property end to end: a match appearing only through a newly-repaired
+// or newly-reparented class is never missed, and the merged lists are
+// identical to a full rescan — order and bindings included.
+func TestIncrementalSearchEqualsFullRescan(t *testing.T) {
+	cr := CompileRules(incrementalRules())
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := egraph.New(nil)
+		var ids []egraph.ClassID
+		for i := 0; i < 5; i++ {
+			ids = append(ids, g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), fmt.Sprintf("x%d", i))))
+		}
+		for i := 0; i < 20; i++ {
+			mutate(rng, g, &ids)
+		}
+
+		r := &Runner{Workers: 1 + int(seed%4)} // cover sequential and parallel paths
+		st := &searchState{matches: make([][]pattern.Compact, len(cr.pats))}
+		for round := 0; round < 6; round++ {
+			view := g.Freeze()
+			var ex Explored
+			r.searchAll(view, cr, st, &ex, nil)
+			if round > 0 && ex.Stats.SearchClean == 0 && ex.Stats.SearchDirty == 0 {
+				t.Fatalf("seed %d round %d: incremental path never engaged", seed, round)
+			}
+
+			// Oracle: a fresh full search of the same view.
+			full := &searchState{matches: make([][]pattern.Compact, len(cr.pats))}
+			r.searchAll(view, cr, full, &Explored{}, nil)
+			for p := range cr.pats {
+				if len(st.matches[p]) != len(full.matches[p]) {
+					t.Fatalf("seed %d round %d pattern %d: incremental found %d matches, full rescan %d",
+						seed, round, p, len(st.matches[p]), len(full.matches[p]))
+				}
+				for i := range full.matches[p] {
+					a, b := st.matches[p][i], full.matches[p][i]
+					if a.Class != b.Class {
+						t.Fatalf("seed %d round %d pattern %d match %d: class e%d vs e%d",
+							seed, round, p, i, a.Class, b.Class)
+					}
+					for k := range b.Bind {
+						if a.Bind[k] != b.Bind[k] {
+							t.Fatalf("seed %d round %d pattern %d match %d: binding %d differs",
+								seed, round, p, i, k)
+						}
+					}
+				}
+			}
+
+			mutate(rng, g, &ids)
+		}
+	}
+}
+
+// TestIncrementalSearchSeesRepairedMatch pins the concrete scenario of
+// the dirty-set contract: a pattern match that only exists because a
+// union made a descendant class match, with the match root itself
+// never directly touched. The incremental search must find it.
+func TestIncrementalSearchSeesRepairedMatch(t *testing.T) {
+	rules := []*Rule{MustRule("nest", "(ewmul (ewadd ?x ?y) ?z)", "(ewmul ?z (ewadd ?x ?y))")}
+	cr := CompileRules(rules)
+	g := egraph.New(nil)
+	a := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "a"))
+	b := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "b"))
+	c := g.Add(egraph.StrNode(egraph.Op(tensor.OpInput), "c"))
+	add := g.Add(egraph.NewNode(egraph.Op(tensor.OpEwadd), a, b))
+	mul := g.Add(egraph.NewNode(egraph.Op(tensor.OpEwmul), c, a)) // no match yet: c is a leaf
+
+	r := &Runner{Workers: 1}
+	st := &searchState{matches: make([][]pattern.Compact, len(cr.pats))}
+	var ex1 Explored
+	r.searchAll(g.Freeze(), cr, st, &ex1, nil)
+	if len(st.matches[0]) != 0 {
+		t.Fatalf("premature match: %d", len(st.matches[0]))
+	}
+
+	// c ~ add(a,b): now (ewmul (ewadd ?x ?y) ?z) matches at mul, whose
+	// class was never unioned or added to.
+	g.Union(c, add)
+	g.Rebuild()
+	var ex2 Explored
+	r.searchAll(g.Freeze(), cr, st, &ex2, nil)
+	if ex2.Stats.SearchDirty == 0 {
+		t.Fatal("incremental path not engaged: mul's class was not re-searched")
+	}
+	if len(st.matches[0]) != 1 {
+		t.Fatalf("incremental search found %d matches, want 1", len(st.matches[0]))
+	}
+	m := st.matches[0][0]
+	if g.Find(m.Class) != g.Find(mul) {
+		t.Fatalf("match rooted at e%d, want e%d", m.Class, g.Find(mul))
+	}
+	s := substFor(cr.pats[0].prog, cr.refs[rules[0]][0].back, m)
+	if g.Find(s["?x"]) != g.Find(a) || g.Find(s["?y"]) != g.Find(b) || g.Find(s["?z"]) != g.Find(a) {
+		t.Fatalf("unexpected bindings %v", s)
+	}
+}

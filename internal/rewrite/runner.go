@@ -69,9 +69,29 @@ type Stats struct {
 	EClasses      int  // final e-class count
 	ExploreTime   time.Duration
 	// SearchTime is the part of ExploreTime spent in the e-matching
-	// search phase (frozen-view scans), summed over iterations — the
-	// quantity the Workers knob parallelizes.
+	// search phase (freezing the view, op-index build, dirty-class
+	// computation and the pattern-program scans), summed over
+	// iterations — the quantity the Workers knob parallelizes.
 	SearchTime time.Duration
+	// Search-phase work accounting, summed over iterations and
+	// canonical patterns. For each (pattern, iteration) pair the
+	// candidate classes (those containing the pattern's root operator)
+	// split into scanned vs. answered-from-memo, while every class
+	// without the root op is pruned without a visit:
+	//
+	//	SearchScanned  — classes the pattern VM actually visited
+	//	SearchPruned   — classes skipped by the op index
+	//	SearchClean    — candidate classes answered from the previous
+	//	                 iteration's memoized matches (iterations >= 2)
+	//	SearchDirty    — candidate classes re-searched because they were
+	//	                 touched since the previous freeze (subset of
+	//	                 SearchScanned)
+	//	SearchMatches  — matches produced by the search phase
+	SearchScanned int
+	SearchPruned  int
+	SearchClean   int
+	SearchDirty   int
+	SearchMatches int
 }
 
 // Explored is the result of the exploration phase: the saturated (or
@@ -92,12 +112,18 @@ type Runner struct {
 	Rules  []*Rule
 	Filter FilterMode
 	Limits Limits
+	// Compiled, when non-nil and compiled from exactly Rules, supplies
+	// the precompiled pattern programs (CompileRules) — the
+	// compile-at-registration path used by tensat.Registry. When nil or
+	// out of date the runner compiles Rules itself at explore start.
+	Compiled *CompiledRules
 	// Workers bounds the goroutines used by the search phase of each
 	// iteration. Searching runs against a frozen read-only view of the
 	// e-graph (egraph.View), so N workers match concurrently with no
 	// locks; results are deterministic and identical to the sequential
 	// scan whatever the worker count. 0 means runtime.GOMAXPROCS(0);
-	// 1 forces the sequential path.
+	// 1 forces the sequential path; values above GOMAXPROCS are
+	// clamped to it (extra goroutines cannot add parallelism).
 	Workers int
 	// Progress, when non-nil, is called from the exploring goroutine
 	// once before the first iteration (with iteration 0 and the
@@ -110,21 +136,6 @@ type Runner struct {
 // NewRunner builds a Runner with default limits and efficient filtering.
 func NewRunner(rules []*Rule) *Runner {
 	return &Runner{Rules: rules, Filter: FilterEfficient, Limits: DefaultLimits()}
-}
-
-// canonicalSource is one entry of the canonicalized S-expression set of
-// Algorithm 1 (lines 1-8): a canonical pattern searched once per
-// iteration, shared by all rule sources that rename to it.
-type canonicalSource struct {
-	pat     *pattern.Pat
-	matches []pattern.Match // filled per iteration
-}
-
-// sourceRef ties a rule's i-th source to its canonical pattern and the
-// rename map used to decanonicalize matches.
-type sourceRef struct {
-	canon *canonicalSource
-	back  map[string]string // canonical var -> original var
 }
 
 // Run explores the e-graph of t until saturation or limits.
@@ -172,21 +183,14 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 		lim.Timeout = time.Hour
 	}
 
-	// Canonicalize all source patterns once (Algorithm 1, lines 1-8).
-	canon := make(map[string]*canonicalSource)
-	refs := make(map[*Rule][]sourceRef, len(r.Rules))
-	for _, rule := range r.Rules {
-		for _, src := range rule.Sources {
-			cp, back := src.Canonical()
-			key := cp.String()
-			cs, ok := canon[key]
-			if !ok {
-				cs = &canonicalSource{pat: cp}
-				canon[key] = cs
-			}
-			refs[rule] = append(refs[rule], sourceRef{canon: cs, back: back})
-		}
+	// Resolve the compiled rule set: the precompiled programs from rule
+	// registration when available, a fresh compilation otherwise
+	// (Algorithm 1, lines 1-8, plus pattern-program compilation).
+	cr := r.Compiled
+	if !cr.compiledFor(r.Rules) {
+		cr = CompileRules(r.Rules)
 	}
+	st := &searchState{matches: make([][]pattern.Compact, len(cr.pats))}
 
 	if r.Progress != nil {
 		r.Progress(0, g.NodeCount(), g.ClassCount())
@@ -210,7 +214,7 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 			break
 		}
 		useMulti := iter < lim.KMulti
-		changed, interrupted := r.iterate(ex, canon, refs, useMulti, lim, deadline, done)
+		changed, interrupted := r.iterate(ex, cr, st, useMulti, lim, deadline, done)
 		ex.Stats.Iterations++
 		if r.Progress != nil {
 			r.Progress(ex.Stats.Iterations, g.NodeCount(), g.ClassCount())
@@ -253,8 +257,8 @@ func stopped(done <-chan struct{}) bool {
 // interrupted (cancellation, deadline, or node limit) before every
 // match was considered — an interrupted no-change iteration is not
 // saturation.
-func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
-	refs map[*Rule][]sourceRef, useMulti bool, lim Limits, deadline time.Time,
+func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
+	useMulti bool, lim Limits, deadline time.Time,
 	done <-chan struct{}) (changed, interrupted bool) {
 
 	g := ex.G
@@ -270,7 +274,7 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 	// SEARCH(G, e_c): all matches for all canonical patterns, matched
 	// concurrently against a frozen read-only view of the e-graph.
 	searchStart := time.Now()
-	r.searchAll(g.Freeze(), canon, done)
+	r.searchAll(g.Freeze(), cr, st, ex, done)
 	ex.Stats.SearchTime += time.Since(searchStart)
 
 	apply := func(rule *Rule, matched []egraph.ClassID, subst pattern.Subst) {
@@ -336,10 +340,11 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 			interrupted = true
 			break
 		}
-		rrefs := refs[rule]
+		rrefs := cr.refs[rule]
 		if !rule.IsMulti() {
 			ref := rrefs[0]
-			for mi, m := range ref.canon.matches {
+			prog := cr.pats[ref.pat].prog
+			for mi, m := range st.matches[ref.pat] {
 				// Large match lists must notice a dead request between
 				// rule boundaries, same cadence as applyMulti.
 				if mi%256 == 255 && (time.Now().After(deadline) || stopped(done)) {
@@ -352,7 +357,7 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 					break
 				}
 				ex.Stats.Matches++
-				apply(rule, []egraph.ClassID{m.Class}, m.Subst.Rename(ref.back))
+				apply(rule, []egraph.ClassID{m.Class}, substFor(prog, ref.back, m))
 				if g.NodeCount() >= lim.MaxNodes {
 					interrupted = true
 					break
@@ -363,7 +368,7 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 		// Multi-pattern: cartesian product of decanonicalized matches,
 		// keeping only combinations compatible on shared variables
 		// (Algorithm 1, lines 11-21).
-		if r.applyMulti(ex, rule, rrefs, apply, lim, deadline, done) {
+		if r.applyMulti(ex, rule, cr, st, rrefs, apply, lim, deadline, done) {
 			interrupted = true
 		}
 	}
@@ -384,101 +389,192 @@ func (r *Runner) iterate(ex *Explored, canon map[string]*canonicalSource,
 // slot after every interested request is gone.
 const searchShardSize = 1024
 
-// searchAll fills cs.matches for every canonical pattern by scanning a
-// frozen view, fanning the (pattern × class-shard) work units out over
-// a bounded worker pool. Shard results are concatenated in scan order,
-// so the match list per pattern is byte-for-byte the one a sequential
-// scan produces regardless of Workers. A fired done channel makes
-// remaining work units return empty (the caller's rule loop observes
-// the cancellation before applying anything).
-func (r *Runner) searchAll(view *egraph.View, canon map[string]*canonicalSource, done <-chan struct{}) {
+// searchParallelThreshold is the minimum per-pattern work-list length
+// worth sharding across workers. Below it a pattern's candidate scan
+// runs as one work unit (still overlapping other patterns on the
+// pool): the op index leaves most patterns with short candidate
+// lists, and for those the channel hand-offs and shard bookkeeping
+// cost more than the scan itself. Measured on the nasrnn search
+// benchmark at 4 workers (candidate lists ranging from a handful to a
+// few thousand classes), sharding lists below ~256 classes was
+// consistently slower than scanning them whole, while longer lists
+// gained from the fan-out.
+const searchParallelThreshold = 256
+
+// searchAll fills st.matches for every canonical pattern by scanning a
+// frozen view. Three accelerations apply, none of which change the
+// match lists:
+//
+//  1. Op-index pruning: a pattern rooted at op only visits
+//     view.ByOp(op), the classes containing at least one node with
+//     that op (Stats.SearchPruned counts the skipped rest).
+//  2. Incremental re-search: on iterations >= 2 only candidates dirty
+//     since the previous freeze are re-scanned; clean candidates
+//     answer from the previous iteration's memoized list. This is
+//     sound because DirtySince is upward-closed — a clean class's
+//     entire downward-reachable region is unchanged, so its matches
+//     (bindings included) are exactly what they were.
+//  3. Parallel sharding: work lists of searchParallelThreshold or more
+//     classes fan out as (pattern × class-shard) units over a bounded
+//     worker pool; shard results concatenate in scan order.
+//
+// The per-pattern match list is therefore byte-for-byte the one a
+// sequential full scan would produce, regardless of Workers or
+// iteration history. A fired done channel invalidates the memo and
+// leaves the match lists empty (the caller's rule loop observes the
+// cancellation before applying anything).
+func (r *Runner) searchAll(view *egraph.View, cr *CompiledRules, st *searchState,
+	ex *Explored, done <-chan struct{}) {
+
 	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if p := runtime.GOMAXPROCS(0); workers <= 0 || workers > p {
+		// More workers than schedulable threads cannot add parallelism,
+		// only channel hand-offs and context switches — the same
+		// fan-out-overhead argument as searchParallelThreshold, applied
+		// to hardware capacity. Results are identical for any worker
+		// count, so clamping is invisible except in wall-clock time.
+		workers = p
 	}
-	pats := make([]*canonicalSource, 0, len(canon))
-	for _, cs := range canon {
-		pats = append(pats, cs)
+	classCount := view.ClassCount()
+
+	// Per-pattern work: the candidate list from the op index, narrowed
+	// to the dirty subset when the previous iteration's memo is valid.
+	incremental := st.valid
+	var dirty map[egraph.ClassID]bool
+	if incremental {
+		dirty = view.DirtySince(st.version)
 	}
-	classes := view.Classes()
-	if workers == 1 || len(classes) == 0 || len(pats) == 0 {
-		for _, cs := range pats {
-			if stopped(done) {
-				cs.matches = nil
-				continue
+	cands := make([][]*egraph.Class, len(cr.pats))
+	scans := make([][]*egraph.Class, len(cr.pats))
+	var planPruned, planDirty, planClean, planScanned int
+	for i, cp := range cr.pats {
+		if op, ok := cp.prog.RootOp(); ok {
+			cands[i] = view.ByOp(op)
+		} else {
+			cands[i] = view.Classes()
+		}
+		planPruned += classCount - len(cands[i])
+		if !incremental {
+			scans[i] = cands[i]
+		} else {
+			for _, cls := range cands[i] {
+				if dirty[cls.ID] {
+					scans[i] = append(scans[i], cls)
+				}
 			}
+			planDirty += len(scans[i])
+			planClean += len(cands[i]) - len(scans[i])
+		}
+		planScanned += len(scans[i])
+	}
+
+	// Scan the work lists into fresh, per-pattern in scan order.
+	fresh := make([][]pattern.Compact, len(cr.pats))
+	if workers == 1 {
+		for i, cp := range cr.pats {
+			scan := scans[i]
 			// Scan in bounded chunks, re-checking cancellation between
 			// them; chunk results concatenate in scan order, so the
-			// match list is identical to one whole-view scan.
-			var all []pattern.Match
-			for lo := 0; lo < len(classes) && !stopped(done); lo += searchShardSize {
+			// match list is identical to one whole-list scan.
+			for lo := 0; lo < len(scan) && !stopped(done); lo += searchShardSize {
 				hi := lo + searchShardSize
-				if hi > len(classes) {
-					hi = len(classes)
+				if hi > len(scan) {
+					hi = len(scan)
 				}
-				all = append(all, pattern.SearchClasses(view, cs.pat, classes[lo:hi])...)
+				fresh[i] = cp.prog.AppendMatches(fresh[i], view, scan[lo:hi])
 			}
-			cs.matches = all
+		}
+	} else {
+		// Shard long work lists so a single hot pattern also spreads
+		// across workers; short lists (below searchParallelThreshold)
+		// stay whole and only ride the pool for cross-pattern overlap.
+		type task struct{ p, s int }
+		bounds := make([][]int, len(cr.pats)) // per pattern: shard start offsets
+		results := make([][][]pattern.Compact, len(cr.pats))
+		for i := range cr.pats {
+			n := len(scans[i])
+			size := n
+			if n >= searchParallelThreshold {
+				shards := workers * 4
+				if min := (n + searchShardSize - 1) / searchShardSize; shards < min {
+					shards = min
+				}
+				if shards > n {
+					shards = n
+				}
+				size = (n + shards - 1) / shards
+			}
+			for lo := 0; lo < n; lo += size {
+				bounds[i] = append(bounds[i], lo)
+			}
+			results[i] = make([][]pattern.Compact, len(bounds[i]))
+		}
+		tasks := make(chan task)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range tasks {
+					if stopped(done) {
+						continue // drain cheaply once canceled
+					}
+					scan := scans[t.p]
+					lo := bounds[t.p][t.s]
+					hi := len(scan)
+					if t.s+1 < len(bounds[t.p]) {
+						hi = bounds[t.p][t.s+1]
+					}
+					results[t.p][t.s] = cr.pats[t.p].prog.AppendMatches(nil, view, scan[lo:hi])
+				}
+			}()
+		}
+		for p := range cr.pats {
+			for s := range bounds[p] {
+				tasks <- task{p, s}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+		for i := range cr.pats {
+			n := 0
+			for _, ms := range results[i] {
+				n += len(ms)
+			}
+			all := make([]pattern.Compact, 0, n)
+			for _, ms := range results[i] {
+				all = append(all, ms...)
+			}
+			fresh[i] = all
+		}
+	}
+
+	if stopped(done) {
+		// Incomplete scans must neither be applied (the rule loop checks
+		// done before any apply) nor memoized for a later iteration —
+		// and the planned work counters stay unrecorded, since a
+		// canceled scan did not actually visit those classes.
+		st.valid = false
+		for i := range st.matches {
+			st.matches[i] = nil
 		}
 		return
 	}
+	ex.Stats.SearchPruned += planPruned
+	ex.Stats.SearchDirty += planDirty
+	ex.Stats.SearchClean += planClean
+	ex.Stats.SearchScanned += planScanned
 
-	// Shard the class scan so a single hot pattern also spreads across
-	// workers; oversubscribe shards for load balance, and cap the
-	// shard size so cancellation latency stays bounded.
-	shards := workers * 4
-	if min := (len(classes) + searchShardSize - 1) / searchShardSize; shards < min {
-		shards = min
-	}
-	if shards > len(classes) {
-		shards = len(classes)
-	}
-	shardSize := (len(classes) + shards - 1) / shards
-	shards = (len(classes) + shardSize - 1) / shardSize
-
-	type task struct{ p, s int }
-	results := make([][][]pattern.Match, len(pats))
-	for i := range results {
-		results[i] = make([][]pattern.Match, shards)
-	}
-	tasks := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				if stopped(done) {
-					continue // drain cheaply once canceled
-				}
-				lo := t.s * shardSize
-				hi := lo + shardSize
-				if hi > len(classes) {
-					hi = len(classes)
-				}
-				results[t.p][t.s] = pattern.SearchClasses(view, pats[t.p].pat, classes[lo:hi])
-			}
-		}()
-	}
-	for p := range pats {
-		for s := 0; s < shards; s++ {
-			tasks <- task{p, s}
+	for i := range cr.pats {
+		if incremental {
+			st.matches[i] = mergeMatches(cands[i], dirty, st.matches[i], fresh[i])
+		} else {
+			st.matches[i] = fresh[i]
 		}
+		ex.Stats.SearchMatches += len(st.matches[i])
 	}
-	close(tasks)
-	wg.Wait()
-
-	for i, cs := range pats {
-		n := 0
-		for _, ms := range results[i] {
-			n += len(ms)
-		}
-		all := make([]pattern.Match, 0, n)
-		for _, ms := range results[i] {
-			all = append(all, ms...)
-		}
-		cs.matches = all
-	}
+	st.version = view.Version()
+	st.valid = true
 }
 
 // applyMulti enumerates compatible match combinations for a
@@ -488,9 +584,9 @@ func (r *Runner) searchAll(view *egraph.View, canon map[string]*canonicalSource,
 // recursion, so no sibling branch of the cartesian product keeps
 // enumerating after the budget is gone. An abort caused by the done
 // channel sets Stats.Canceled.
-func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
-	apply func(*Rule, []egraph.ClassID, pattern.Subst), lim Limits, deadline time.Time,
-	done <-chan struct{}) (aborted bool) {
+func (r *Runner) applyMulti(ex *Explored, rule *Rule, cr *CompiledRules, st *searchState,
+	rrefs []sourceRef, apply func(*Rule, []egraph.ClassID, pattern.Subst),
+	lim Limits, deadline time.Time, done <-chan struct{}) (aborted bool) {
 
 	g := ex.G
 	matched := make([]egraph.ClassID, len(rrefs))
@@ -519,11 +615,12 @@ func (r *Runner) applyMulti(ex *Explored, rule *Rule, rrefs []sourceRef,
 			return
 		}
 		ref := rrefs[i]
-		for _, m := range ref.canon.matches {
+		prog := cr.pats[ref.pat].prog
+		for _, m := range st.matches[ref.pat] {
 			if aborted {
 				return
 			}
-			ms := m.Subst.Rename(ref.back)
+			ms := substFor(prog, ref.back, m)
 			// COMPATIBLE: shared variables must map to the same e-class.
 			merged := subst.Clone()
 			ok := true

@@ -187,6 +187,15 @@ type StatsReply struct {
 	JobsFailed    uint64 `json:"jobs_failed"`
 	// Profiles counts requests per "<ruleset>/<costmodel>" profile.
 	Profiles map[string]uint64 `json:"profiles,omitempty"`
+	// Search-phase counters summed over completed (uncached) runs:
+	// classes the e-matching programs scanned vs. skipped by the
+	// operator index, dirty candidates re-searched vs. clean candidates
+	// answered from the per-iteration memo, and matches found.
+	SearchClassesScanned uint64 `json:"search_classes_scanned"`
+	SearchClassesPruned  uint64 `json:"search_classes_pruned"`
+	SearchDirtySearched  uint64 `json:"search_dirty_searched"`
+	SearchCleanReused    uint64 `json:"search_clean_reused"`
+	SearchMatches        uint64 `json:"search_matches"`
 }
 
 // VersionReply is the body answering GET /v1/version.
@@ -307,6 +316,12 @@ func handleStats(s *Service, w http.ResponseWriter) {
 		JobsCanceled:  st.Jobs.Canceled,
 		JobsFailed:    st.Jobs.Failed,
 		Profiles:      st.Profiles,
+
+		SearchClassesScanned: st.Search.ClassesScanned,
+		SearchClassesPruned:  st.Search.ClassesPruned,
+		SearchDirtySearched:  st.Search.DirtySearched,
+		SearchCleanReused:    st.Search.CleanReused,
+		SearchMatches:        st.Search.Matches,
 	})
 }
 

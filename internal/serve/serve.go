@@ -452,6 +452,9 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	start := time.Now()
 	res, err := s.optimize(c.ctx, g, opts)
 	s.stats.endWork(time.Since(start), err)
+	if err == nil && res != nil {
+		s.stats.searchWork(res.Search)
+	}
 	// A canceled run is not a complete result: OptimizeContext normally
 	// surfaces cancellation as an error, but if a result does carry the
 	// Canceled mark (exploration aborted mid-way), it must never be

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"tensat"
 )
 
 // Stats is a point-in-time snapshot of service counters.
@@ -28,9 +30,26 @@ type Stats struct {
 	// "<ruleset>/<costmodel>" (e.g. "taso-default/t4") — both the
 	// synchronous and the job surface contribute.
 	Profiles map[string]uint64
+	// Search aggregates the e-matching search-phase counters over every
+	// cold (uncached) optimization this server completed, so the
+	// op-index pruning and incremental re-search wins are observable in
+	// the serving layer.
+	Search SearchCounters
 	// P50 and P95 are percentiles over the most recent cold (uncached)
 	// optimization latencies; zero until the first run completes.
 	P50, P95 time.Duration
+}
+
+// SearchCounters sums tensat.SearchStats over completed runs: classes
+// scanned by the pattern programs vs. pruned by the operator index,
+// dirty candidates re-searched vs. clean candidates answered from the
+// per-iteration match memo, and total matches found.
+type SearchCounters struct {
+	ClassesScanned uint64
+	ClassesPruned  uint64
+	DirtySearched  uint64
+	CleanReused    uint64
+	Matches        uint64
 }
 
 // latencyWindow is how many recent cold latencies feed the percentiles.
@@ -47,6 +66,7 @@ type collector struct {
 	canceled  uint64
 	inFlight  int
 	profiles  map[string]uint64
+	search    SearchCounters
 	ring      [latencyWindow]time.Duration
 	ringN     int // total latencies ever recorded
 }
@@ -65,6 +85,18 @@ func (c *collector) profile(label string) {
 		c.profiles = make(map[string]uint64)
 	}
 	c.profiles[label]++
+	c.mu.Unlock()
+}
+
+// searchWork folds one completed run's search-phase stats into the
+// service-wide counters.
+func (c *collector) searchWork(s tensat.SearchStats) {
+	c.mu.Lock()
+	c.search.ClassesScanned += uint64(s.Scanned)
+	c.search.ClassesPruned += uint64(s.Pruned)
+	c.search.DirtySearched += uint64(s.Dirty)
+	c.search.CleanReused += uint64(s.Clean)
+	c.search.Matches += uint64(s.Matches)
 	c.mu.Unlock()
 }
 
@@ -98,6 +130,7 @@ func (c *collector) snapshot() Stats {
 		Errors:    c.errors,
 		Canceled:  c.canceled,
 		InFlight:  c.inFlight,
+		Search:    c.search,
 	}
 	if len(c.profiles) > 0 {
 		s.Profiles = make(map[string]uint64, len(c.profiles))

@@ -389,6 +389,25 @@ func TestV1JobEndToEndRealPipeline(t *testing.T) {
 	if warm.Graph != async.Graph {
 		t.Fatal("cached sync graph differs from the job's graph")
 	}
+
+	// The real run's search-phase counters surfaced in /v1/stats: the
+	// compiled engine scanned and op-index-pruned classes and found
+	// matches. The cached warm request must not have added to them.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.SearchClassesScanned == 0 || st.SearchClassesPruned == 0 || st.SearchMatches == 0 {
+		t.Fatalf("search counters missing from stats: %+v", st)
+	}
+	if st.Completed != 1 {
+		t.Fatalf("completed = %d, want 1 (cache hits must not rerun the search)", st.Completed)
+	}
 }
 
 // TestV1UnknownFieldsRejected: a typo in the request body errors

@@ -71,6 +71,7 @@ type Optimizer struct {
 
 	rulesOnce sync.Once
 	rules     []*Rule
+	compiled  *rewrite.CompiledRules
 }
 
 // OptimizerOption configures NewOptimizer.
@@ -134,19 +135,22 @@ func (o *Optimizer) reg() *Registry {
 // jobs that name no profile and bring no rules of their own. Named
 // rule sets (Options.RuleSet) bypass this and hit the registry, where
 // each set was compiled at registration.
-func (o *Optimizer) ruleSet() []*Rule {
+func (o *Optimizer) ruleSet() ([]*Rule, *rewrite.CompiledRules) {
 	o.rulesOnce.Do(func() {
 		if o.userRules != nil {
 			o.rules = o.userRules
+			o.compiled = rewrite.CompileRules(o.rules)
 			return
 		}
 		if rs, ok := o.reg().RuleSet(DefaultRuleSetName); ok {
 			o.rules = rs
+			o.compiled, _ = o.reg().compiledRuleSet(DefaultRuleSetName)
 			return
 		}
 		o.rules = rules.Default()
+		o.compiled = rewrite.CompileRules(o.rules)
 	})
-	return o.rules
+	return o.rules, o.compiled
 }
 
 // resolve fills the zero fields of opt from the optimizer's base
@@ -343,14 +347,18 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 	}
 	// Resolution order for each profile half: an explicit object on the
 	// Options, then a registry name, then the optimizer's own default.
+	// Named and default rule sets carry their registration-time pattern
+	// compilation; per-job Rules objects are compiled by the runner.
 	ruleset := opt.Rules
+	var compiled *rewrite.CompiledRules
 	if ruleset == nil && opt.RuleSet != "" {
 		if rs, ok := o.reg().RuleSet(opt.RuleSet); ok {
 			ruleset = rs
+			compiled, _ = o.reg().compiledRuleSet(opt.RuleSet)
 		}
 	}
 	if ruleset == nil {
-		ruleset = o.ruleSet()
+		ruleset, compiled = o.ruleSet()
 	}
 	model := opt.CostModel
 	if model == nil && opt.CostModelName != "" {
@@ -363,6 +371,7 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 	}
 
 	runner := rewrite.NewRunner(ruleset)
+	runner.Compiled = compiled
 	runner.Limits = rewrite.Limits{
 		MaxNodes: opt.NodeLimit,
 		MaxIters: opt.IterLimit,
@@ -464,6 +473,14 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 		Truncated:      ex.Stats.HitTimeout || ex.Stats.Canceled,
 		Canceled:       ex.Stats.Canceled,
 		FilteredNodes:  ex.Stats.FilteredNodes,
+		Search: SearchStats{
+			Time:    ex.Stats.SearchTime,
+			Scanned: ex.Stats.SearchScanned,
+			Pruned:  ex.Stats.SearchPruned,
+			Dirty:   ex.Stats.SearchDirty,
+			Clean:   ex.Stats.SearchClean,
+			Matches: ex.Stats.SearchMatches,
+		},
 	}
 	if res.ILP != nil {
 		out.ILPOptimal = res.ILP.Optimal

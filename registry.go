@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"tensat/internal/cost"
+	"tensat/internal/rewrite"
 	"tensat/internal/rules"
 )
 
@@ -66,7 +67,12 @@ type CostModelInfo struct {
 
 type ruleSetEntry struct {
 	rules []*Rule
-	info  RuleSetInfo
+	// compiled is the e-matching form of rules — canonical patterns
+	// compiled to pattern programs (rewrite.CompileRules) — built once
+	// at registration so every job resolving this set shares the same
+	// immutable programs instead of recompiling per run.
+	compiled *rewrite.CompiledRules
+	info     RuleSetInfo
 }
 
 type costModelEntry struct {
@@ -130,7 +136,8 @@ func (r *Registry) putRuleSet(name string, rs []*Rule, source string) {
 	}
 	r.mu.Lock()
 	r.ruleSets[name] = &ruleSetEntry{
-		rules: rs,
+		rules:    rs,
+		compiled: rewrite.CompileRules(rs),
 		info: RuleSetInfo{
 			Name:       name,
 			Hash:       rules.Hash(rs),
@@ -358,6 +365,18 @@ func (r *Registry) RuleSet(name string) ([]*Rule, bool) {
 		return nil, false
 	}
 	return e.rules, true
+}
+
+// compiledRuleSet resolves a named rule set to its registration-time
+// pattern-program compilation (always present alongside the rules).
+func (r *Registry) compiledRuleSet(name string) (*rewrite.CompiledRules, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.ruleSets[name]
+	if !ok {
+		return nil, false
+	}
+	return e.compiled, true
 }
 
 // RuleSetInfo reports a named rule set's metadata.

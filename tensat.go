@@ -206,7 +206,7 @@ type Options struct {
 	// value; under a time budget (ExploreTimeout, or the implicit
 	// one-hour safety net) more workers explore further before the
 	// budget expires. 0 means runtime.GOMAXPROCS(0); 1 forces the
-	// sequential search.
+	// sequential search; values above GOMAXPROCS are clamped to it.
 	Workers int
 	// Extractor selects ILP or greedy extraction.
 	Extractor Extractor
@@ -234,6 +234,28 @@ func DefaultOptions() Options {
 		KMulti:     1,
 		ILPTimeout: time.Hour,
 	}
+}
+
+// SearchStats reports what the e-matching search phase of exploration
+// did, summed over iterations and canonical patterns. Scanned vs.
+// Pruned shows the op-index win (classes visited vs. skipped because
+// they lack a pattern's root operator); Dirty vs. Clean shows the
+// incremental-search win on iterations >= 2 (candidates re-searched
+// because they changed since the previous iteration vs. answered from
+// the memoized match lists).
+type SearchStats struct {
+	// Time is the part of ExploreTime spent searching (the quantity
+	// Options.Workers parallelizes).
+	Time time.Duration
+	// Scanned counts e-classes the pattern programs actually visited.
+	Scanned int
+	// Pruned counts e-classes skipped by the operator index.
+	Pruned int
+	// Dirty counts candidate classes re-searched incrementally; Clean
+	// counts candidates answered from the previous iteration's matches.
+	Dirty, Clean int
+	// Matches counts the matches the search phase produced.
+	Matches int
 }
 
 // Result reports an optimization run.
@@ -266,6 +288,9 @@ type Result struct {
 	FilteredNodes int
 	// ILPOptimal is true when ILP extraction proved optimality.
 	ILPOptimal bool
+	// Search breaks down the e-matching search phase (op-index pruning,
+	// incremental re-search, match counts).
+	Search SearchStats
 }
 
 // Optimize runs the full TENSAT pipeline on g: exploration by equality
