@@ -14,12 +14,14 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"tensat/internal/egraph"
 	"tensat/internal/exp"
+	"tensat/internal/obs"
 	"tensat/internal/pattern"
 	"tensat/internal/rewrite"
 	"tensat/internal/rules"
@@ -48,6 +50,17 @@ var searchBench = struct {
 	MatcherSpeedup       float64 `json:"matcher_speedup"`
 }{Benchmark: "explore-search-seq-vs-parallel", Workers: searchBenchWorkers}
 
+// obsBench accumulates the telemetry overhead pair: the NasRNN
+// exploration with tracing and phase histograms off vs. on. TestMain
+// writes the summary to BENCH_obs.json so CI can gate instrumentation
+// drag (the acceptance budget is < 2% explore-time overhead).
+var obsBench = struct {
+	Benchmark       string  `json:"benchmark"`
+	PlainNsOp       float64 `json:"plain_ns_per_op"`
+	TelemetryNsOp   float64 `json:"telemetry_ns_per_op"`
+	OverheadPercent float64 `json:"overhead_percent"`
+}{Benchmark: "nasrnn-explore-telemetry-overhead"}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	dirty := false
@@ -65,7 +78,88 @@ func TestMain(m *testing.M) {
 			_ = os.WriteFile("BENCH_search.json", append(data, '\n'), 0o644)
 		}
 	}
+	if obsBench.PlainNsOp > 0 && obsBench.TelemetryNsOp > 0 {
+		// OverheadPercent was already estimated from paired ratios
+		// inside the benchmark; just persist the summary.
+		if data, err := json.MarshalIndent(obsBench, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644)
+		}
+	}
 	os.Exit(code)
+}
+
+// BenchmarkExploreTelemetry measures the NasRNN exploration with all
+// telemetry off and again with a live span recorder plus per-phase
+// histogram observes — exactly what the daemon adds per job. The two
+// arms run interleaved inside one loop so machine drift (frequency
+// scaling, noisy neighbors) hits both equally; separate benchmark
+// functions would let minutes of drift masquerade as overhead.
+func BenchmarkExploreTelemetry(b *testing.B) {
+	g := nasrnnGraph(b)
+	phases := obs.NewRegistry().HistogramVec("bench_phase_seconds",
+		"Per-phase latency.", obs.LatencyBuckets, "phase")
+	exploreOnce := func(telemetry bool) time.Duration {
+		r := rewrite.NewRunner(rules.Default())
+		r.Limits = rewrite.Limits{MaxNodes: 8000, MaxIters: 6, KMulti: 1, Timeout: time.Hour}
+		r.Workers = 1
+		if telemetry {
+			r.Trace = obs.NewTrace("optimize")
+		}
+		start := time.Now()
+		ex, err := r.Run(g)
+		d := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ex.Stats.Matches == 0 {
+			b.Fatal("explore benchmark found no matches; workload broken")
+		}
+		if telemetry {
+			phases.With("explore").Observe(ex.Stats.ExploreTime.Seconds())
+			phases.With("search").Observe(ex.Stats.SearchTime.Seconds())
+			phases.With("apply").Observe(ex.Stats.ApplyTime.Seconds())
+			phases.With("rebuild").Observe(ex.Stats.RebuildTime.Seconds())
+			if r.Trace.Close() == nil {
+				b.Fatal("telemetry run recorded no trace")
+			}
+		}
+		return d
+	}
+	exploreOnce(true) // warm caches outside the measurement
+	// Run the arms in back-to-back pairs, alternating which goes first
+	// (cancels ordering bias from GC debt left by the previous run),
+	// and estimate overhead as the median of per-pair ratios: machine
+	// noise (frequency scaling, neighbors, GC outliers) is correlated
+	// within a pair and cancels in the ratio, where independent means
+	// would swing several percent run to run.
+	plain := make([]float64, 0, b.N)
+	telemetry := make([]float64, 0, b.N)
+	ratios := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var p, tl time.Duration
+		if i%2 == 0 {
+			p = exploreOnce(false)
+			tl = exploreOnce(true)
+		} else {
+			tl = exploreOnce(true)
+			p = exploreOnce(false)
+		}
+		plain = append(plain, float64(p))
+		telemetry = append(telemetry, float64(tl))
+		ratios = append(ratios, float64(tl)/float64(p))
+	}
+	b.StopTimer()
+	median := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		return xs[len(xs)/2]
+	}
+	obsBench.PlainNsOp = median(plain)
+	obsBench.TelemetryNsOp = median(telemetry)
+	obsBench.OverheadPercent = (median(ratios) - 1) * 100
+	b.ReportMetric(obsBench.PlainNsOp/1e6, "plain-ms/op")
+	b.ReportMetric(obsBench.TelemetryNsOp/1e6, "telemetry-ms/op")
+	b.ReportMetric(obsBench.OverheadPercent, "overhead-%")
 }
 
 // exploreSearchNs runs a saturating NasRNN exploration with the full

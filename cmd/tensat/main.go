@@ -9,7 +9,10 @@
 //
 // With -progress, live lines trace the run as it happens: one per
 // exploration iteration (e-graph growth) and one per ILP incumbent
-// (the anytime answer improving).
+// (the anytime answer improving). With -trace out.json, the full
+// per-phase span tree (explore iterations, search/apply/rebuild,
+// extraction, ILP model+solve with incumbent events) is written as
+// Chrome trace-event JSON — open it in https://ui.perfetto.dev.
 //
 // -ruleset and -costmodel select named optimization profiles: the
 // built-ins (rule sets taso-default, taso-single; devices t4, a100,
@@ -49,6 +52,7 @@ func main() {
 		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "ILP solver timeout")
 		workers   = flag.Int("workers", 0, "parallel e-matching goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "print live progress lines (iterations, e-graph growth, ILP incumbents) to stderr")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
 		ruleset   = flag.String("ruleset", "", "named rule set profile (e.g. taso-default, taso-single, or a loaded .rules file)")
 		costmodel = flag.String("costmodel", "", "named device cost model (e.g. t4, a100, cpu, or a loaded device spec)")
 		rulesDir  = flag.String("rules-dir", "", "load every *.rules file in this directory before resolving -ruleset")
@@ -116,6 +120,9 @@ func main() {
 	if *progress {
 		opt.Progress = printProgress
 	}
+	if *traceOut != "" {
+		opt.Trace = true
+	}
 
 	// Run through the job API: Ctrl-C cancels the job cleanly instead
 	// of killing the process mid-pipeline.
@@ -157,6 +164,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved dot rendering to %s\n", *dot)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tensat.WriteChromeTrace(f, res.Trace); err != nil {
+			f.Close()
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved trace to %s (open in Perfetto)\n", *traceOut)
 	}
 }
 

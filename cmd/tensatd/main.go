@@ -9,11 +9,13 @@
 //	GET    /v1/jobs/{id}/result — the optimized graph once done
 //	DELETE /v1/jobs/{id}        — cancel a running job
 //	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/jobs/{id}/trace  — per-phase trace (add ?format=chrome for Perfetto)
 //	GET    /v1/rulesets         — named rule sets with content hashes
 //	GET    /v1/costmodels       — named device cost models with hashes
 //	GET    /v1/version          — build/runtime identification
 //	GET    /v1/stats            — cache/latency/job/profile counters
 //	GET    /v1/healthz          — liveness probe
+//	GET    /metrics             — Prometheus text exposition
 //	POST   /optimize            — deprecated synchronous shim
 //	GET    /stats, /healthz     — deprecated pre-/v1 spellings
 //
@@ -37,14 +39,21 @@
 // model; requests select them per job via the "ruleset"/"cost_model"
 // options. A malformed or unsound file refuses to boot the daemon —
 // better a loud start-up failure than a silently missing profile.
+//
+// Observability: the daemon logs structured records via log/slog
+// (-log-format json for machine ingestion), exposes Prometheus metrics
+// on GET /metrics, and — when -debug-addr is set — serves net/http/pprof
+// on a separate listener (keep it on loopback or a private interface;
+// profiles expose internals).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,9 +64,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tensatd: ")
-
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		workers       = flag.Int("workers", 0, "max concurrent optimizations (0 = GOMAXPROCS)")
@@ -71,38 +77,59 @@ func main() {
 		ilpTime       = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
 		rulesDir      = flag.String("rules-dir", "", "load every *.rules file in this directory as a named rule set profile")
 		deviceDir     = flag.String("device-dir", "", "load every *.json device spec in this directory as a named cost model profile")
+		logFormat     = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
+		keepAlive     = flag.Duration("sse-keepalive", 15*time.Second, "idle SSE keepalive comment interval (negative = disabled)")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log-format (want text or json)", "got", *logFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	// Worker counts must be non-negative: silently coercing a negative
 	// value to "GOMAXPROCS" (or to sequential search) hides an operator
 	// mistake.
 	if *workers < 0 {
-		log.Fatalf("-workers must be >= 0, got %d", *workers)
+		fatal("-workers must be >= 0", "got", *workers)
 	}
 	if *searchWorkers < 0 {
-		log.Fatalf("-search-workers must be >= 0, got %d", *searchWorkers)
+		fatal("-search-workers must be >= 0", "got", *searchWorkers)
 	}
 
 	registry := tensat.DefaultRegistry()
 	if *rulesDir != "" {
 		infos, err := registry.LoadRulesDir(*rulesDir)
 		if err != nil {
-			log.Fatalf("loading rule sets: %v", err)
+			fatal("loading rule sets", "error", err)
 		}
 		for _, info := range infos {
-			log.Printf("ruleset %s: %d rules (%d multi) hash %.12s from %s",
-				info.Name, info.Rules, info.MultiRules, info.Hash, info.Source)
+			logger.Info("ruleset loaded",
+				"name", info.Name, "rules", info.Rules, "multi_rules", info.MultiRules,
+				"hash", info.Hash[:12], "source", info.Source)
 		}
 	}
 	if *deviceDir != "" {
 		infos, err := registry.LoadDevicesDir(*deviceDir)
 		if err != nil {
-			log.Fatalf("loading device specs: %v", err)
+			fatal("loading device specs", "error", err)
 		}
 		for _, info := range infos {
-			log.Printf("costmodel %s: %d params hash %.12s from %s",
-				info.Name, info.Params, info.Hash, info.Source)
+			logger.Info("costmodel loaded",
+				"name", info.Name, "params", info.Params,
+				"hash", info.Hash[:12], "source", info.Source)
 		}
 	}
 
@@ -114,20 +141,43 @@ func main() {
 	base.Workers = *searchWorkers
 
 	svc := serve.New(serve.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		MaxJobs:   *maxJobs,
-		JobTTL:    *jobTTL,
-		Base:      base,
-		Registry:  registry,
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		MaxJobs:      *maxJobs,
+		JobTTL:       *jobTTL,
+		Base:         base,
+		Registry:     registry,
+		Logger:       logger,
+		SSEKeepAlive: *keepAlive,
 	})
 
 	server := &http.Server{
 		Addr:    *addr,
-		Handler: serve.NewHandler(svc),
+		Handler: serve.AccessLog(logger, serve.NewHandler(svc)),
 		// Optimizations can legitimately run for minutes; only bound
 		// header reads so stuck clients cannot pin connections.
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof mux lives on its own opt-in listener rather than the
+	// service mux: profiles and symbol tables are internals no public
+	// surface should leak, and a separate port is easy to firewall.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugServer := &http.Server{Addr: *debugAddr, Handler: debugMux,
+			ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "error", err)
+			}
+		}()
+		defer debugServer.Close()
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
@@ -135,18 +185,18 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (workers=%d, cache=%d)", *addr, svc.Workers(), *cacheSize)
+		logger.Info("listening", "addr", *addr, "workers", svc.Workers(), "cache", *cacheSize)
 		errc <- server.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("serve", "error", err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Fatal(err)
+		fatal("shutdown", "error", err)
 	}
 }

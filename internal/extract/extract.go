@@ -14,6 +14,7 @@ import (
 	"tensat/internal/cost"
 	"tensat/internal/egraph"
 	"tensat/internal/ilp"
+	"tensat/internal/obs"
 	"tensat/internal/rewrite"
 	"tensat/internal/tensor"
 )
@@ -189,6 +190,10 @@ type ILPOptions struct {
 	// far — from the solving goroutine. Long ILP runs use it to report
 	// live anytime progress.
 	OnIncumbent func(cost float64)
+	// Trace, when non-nil, receives phase spans: an "ilp" span with
+	// "model" (problem build + warm starts) and "solve" children, the
+	// latter carrying an "incumbent" event per improvement.
+	Trace *obs.Trace
 }
 
 // DefaultStallLimit is the default incumbent-stall cutoff. It plays
@@ -211,10 +216,14 @@ func ILP(ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, erro
 func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, error) {
 	start := time.Now()
 	g := ex.G
+	tr := opts.Trace
+	tr.Begin("ilp")
+	defer tr.End()
 
 	if !opts.CycleConstraints && !rewrite.IsAcyclic(g, ex.Filtered) {
 		return nil, fmt.Errorf("extract: e-graph has cycles; ILP without cycle constraints requires cycle filtering")
 	}
+	tr.Begin("model")
 
 	// Index classes and nodes.
 	classIdx := make(map[egraph.ClassID]int)
@@ -237,8 +246,13 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 		Timeout:          opts.Timeout,
 		StallLimit:       stall,
 	}
-	if opts.OnIncumbent != nil {
-		p.OnIncumbent = func(cost float64, _ int64) { opts.OnIncumbent(cost) }
+	if opts.OnIncumbent != nil || tr != nil {
+		p.OnIncumbent = func(cost float64, _ int64) {
+			tr.Event("incumbent", cost)
+			if opts.OnIncumbent != nil {
+				opts.OnIncumbent(cost)
+			}
+		}
 	}
 	type ref struct {
 		class egraph.ClassID
@@ -301,11 +315,24 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 	if orig := originalSelect(ex); orig != nil {
 		p.WarmStarts = append(p.WarmStarts, toWarm(orig))
 	}
+	tr.Attr("classes", int64(len(classIDs)))
+	tr.Attr("variables", int64(len(p.Costs)))
+	tr.End() // model
 
+	tr.Begin("solve")
 	sol, err := ilp.SolveContext(ctx, p)
 	if err != nil {
+		tr.End()
 		return nil, fmt.Errorf("extract: ilp: %w", err)
 	}
+	tr.Attr("explored", sol.Explored)
+	tr.Attr("incumbents", int64(sol.Incumbents))
+	if sol.Optimal {
+		tr.Attr("optimal", 1)
+	} else {
+		tr.Attr("optimal", 0)
+	}
+	tr.End() // solve
 	sel := func(id egraph.ClassID) (egraph.Node, bool) {
 		vi, ok := sol.NodeOf[classIdx[g.Find(id)]]
 		if !ok {

@@ -111,6 +111,11 @@ type Solution struct {
 	// branch-and-bound (diagnostics).
 	SeedCost       float64
 	ImproveCommits int
+	// Incumbents counts incumbent improvements (the warm-start seed
+	// included); FirstIncumbent is how long the solve ran before the
+	// first one landed.
+	Incumbents     int
+	FirstIncumbent time.Duration
 }
 
 // ErrInfeasible is returned when no acyclic selection exists.
@@ -167,11 +172,24 @@ type solver struct {
 	stalled        bool
 	improveCommits int
 
+	start          time.Time
+	incumbents     int
+	firstIncumbent time.Duration
+
 	// levels for TopoInt acyclicity maintenance
 	level []int
 
 	// sc holds the local search's epoch-stamped scratch buffers.
 	sc *improveScratch
+}
+
+// recordIncumbent notes one incumbent improvement for the Solution's
+// Incumbents / FirstIncumbent diagnostics.
+func (s *solver) recordIncumbent() {
+	s.incumbents++
+	if s.incumbents == 1 {
+		s.firstIncumbent = time.Since(s.start)
+	}
 }
 
 // Solve runs branch-and-bound and returns the best selection.
@@ -191,7 +209,7 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	s := &solver{p: p, done: ctx.Done()}
+	s := &solver{p: p, done: ctx.Done(), start: start}
 	if p.Timeout > 0 {
 		s.deadline = start.Add(p.Timeout)
 		s.hasDeadline = true
@@ -259,8 +277,11 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 			s.best, s.bestPick = impCost, imp
 		}
 	}
-	if p.OnIncumbent != nil && s.bestPick != nil {
-		p.OnIncumbent(s.best, 0)
+	if s.bestPick != nil {
+		s.recordIncumbent()
+		if p.OnIncumbent != nil {
+			p.OnIncumbent(s.best, 0)
+		}
 	}
 
 	s.need[p.Root] = 1
@@ -275,6 +296,8 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 		Time:           time.Since(start),
 		SeedCost:       seedCost,
 		ImproveCommits: s.improveCommits,
+		Incumbents:     s.incumbents,
+		FirstIncumbent: s.firstIncumbent,
 	}
 	if s.bestPick == nil {
 		if s.timedOut || s.stalled {
@@ -537,6 +560,7 @@ func (s *solver) branch(pending []int, bound float64) {
 			s.best = s.acc
 			s.bestPick = append([]int(nil), s.chosen...)
 			s.lastImprove = s.explored
+			s.recordIncumbent()
 			if s.p.OnIncumbent != nil {
 				s.p.OnIncumbent(s.best, s.explored)
 			}

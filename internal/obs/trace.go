@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a run: a name, an offset from the trace
+// origin, a duration, integer attributes (sizes, deltas, counts),
+// point-in-time events, and child spans. Spans form a tree rooted at
+// the span returned by Trace.Close; after Close the tree is immutable
+// and safe to share between goroutines.
+type Span struct {
+	Name     string
+	Start    time.Duration // offset from the trace origin
+	Duration time.Duration
+	Attrs    map[string]int64
+	Events   []Event
+	Children []*Span
+
+	end time.Duration // set by Trace.end; zero while open
+}
+
+// Event is a point-in-time marker inside a span, such as an ILP
+// incumbent improvement carrying the new cost.
+type Event struct {
+	Name  string
+	At    time.Duration // offset from the trace origin
+	Value float64
+}
+
+// Trace records a tree of spans as a run executes. A nil *Trace is a
+// valid no-op recorder — every method is nil-receiver-safe — so
+// instrumented code calls tr.Begin/End/Attr/Event unconditionally and
+// pays only a nil check when tracing is off. A non-nil Trace is safe
+// for use from one goroutine at a time per span stack; the pipeline
+// records from its driver goroutine.
+type Trace struct {
+	origin time.Time
+
+	mu    sync.Mutex
+	root  *Span
+	stack []*Span // open spans, root first
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{origin: time.Now()}
+	t.root = &Span{Name: name}
+	t.stack = []*Span{t.root}
+	return t
+}
+
+func (t *Trace) now() time.Duration { return time.Since(t.origin) }
+
+// Begin opens a child span under the innermost open span.
+func (t *Trace) Begin(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return // trace already closed
+	}
+	s := &Span{Name: name, Start: t.now()}
+	parent := t.stack[len(t.stack)-1]
+	parent.Children = append(parent.Children, s)
+	t.stack = append(t.stack, s)
+}
+
+// End closes the innermost open span. Ending the root is a no-op;
+// the root closes in Close.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) <= 1 {
+		return
+	}
+	s := t.stack[len(t.stack)-1]
+	s.end = t.now()
+	s.Duration = s.end - s.Start
+	t.stack = t.stack[:len(t.stack)-1]
+}
+
+// Attr sets an integer attribute on the innermost open span.
+func (t *Trace) Attr(key string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return
+	}
+	s := t.stack[len(t.stack)-1]
+	if s.Attrs == nil {
+		s.Attrs = map[string]int64{}
+	}
+	s.Attrs[key] = v
+}
+
+// Event records a point-in-time event on the innermost open span.
+func (t *Trace) Event(name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return
+	}
+	s := t.stack[len(t.stack)-1]
+	s.Events = append(s.Events, Event{Name: name, At: t.now(), Value: value})
+}
+
+// Close force-ends any open spans (innermost first), closes the root,
+// and returns the finished tree. Returns nil on a nil Trace. After
+// Close, further recording calls are no-ops.
+func (t *Trace) Close() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		s := t.stack[i]
+		s.end = now
+		s.Duration = s.end - s.Start
+	}
+	t.stack = nil
+	return t.root
+}
+
+// WriteChromeTrace renders a finished span tree in the Chrome
+// trace-event JSON format (an array of "X" complete events plus "i"
+// instant events, timestamps in microseconds), which Perfetto and
+// chrome://tracing open directly. A nil root writes an empty array.
+func WriteChromeTrace(w io.Writer, root *Span) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteByte('[')
+	first := true
+	var walk func(s *Span)
+	var werr error
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		if _, err := fmt.Fprintf(bw, format, args...); err != nil && werr == nil {
+			werr = err
+		}
+	}
+	walk = func(s *Span) {
+		emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":1%s}`,
+			strconv.Quote(s.Name), s.Start.Microseconds(), s.Duration.Microseconds(), chromeArgs(s.Attrs))
+		for _, e := range s.Events {
+			emit(`{"name":%s,"ph":"i","ts":%d,"pid":1,"tid":1,"s":"t","args":{"value":%s}}`,
+				strconv.Quote(e.Name), e.At.Microseconds(), formatValue(e.Value))
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	if root != nil {
+		walk(root)
+	}
+	bw.WriteString("]\n")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return werr
+}
+
+func chromeArgs(attrs map[string]int64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := `,"args":{`
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += strconv.Quote(k) + ":" + strconv.FormatInt(attrs[k], 10)
+	}
+	return s + "}"
+}

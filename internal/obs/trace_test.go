@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("optimize")
+	tr.Begin("explore")
+	tr.Begin("iteration")
+	tr.Attr("iteration", 0)
+	tr.Event("incumbent", 12.5)
+	time.Sleep(time.Millisecond)
+	tr.End() // iteration
+	tr.Attr("iterations", 1)
+	tr.End() // explore
+	root := tr.Close()
+
+	if root == nil || root.Name != "optimize" {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "explore" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	explore := root.Children[0]
+	if explore.Attrs["iterations"] != 1 {
+		t.Fatalf("explore attrs = %v", explore.Attrs)
+	}
+	if len(explore.Children) != 1 {
+		t.Fatalf("explore children = %+v", explore.Children)
+	}
+	iter := explore.Children[0]
+	if iter.Duration <= 0 {
+		t.Fatalf("iteration duration = %v", iter.Duration)
+	}
+	if iter.Duration > explore.Duration || explore.Duration > root.Duration {
+		t.Fatalf("durations not nested: iter=%v explore=%v root=%v",
+			iter.Duration, explore.Duration, root.Duration)
+	}
+	if len(iter.Events) != 1 || iter.Events[0].Name != "incumbent" || iter.Events[0].Value != 12.5 {
+		t.Fatalf("events = %+v", iter.Events)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Begin("x")
+	tr.Attr("k", 1)
+	tr.Event("e", 2)
+	tr.End()
+	if tr.Close() != nil {
+		t.Fatal("nil trace Close should return nil")
+	}
+}
+
+func TestTraceCloseForceEndsOpenSpans(t *testing.T) {
+	tr := NewTrace("root")
+	tr.Begin("a")
+	tr.Begin("b")
+	root := tr.Close()
+	a := root.Children[0]
+	b := a.Children[0]
+	if a.Duration < b.Duration {
+		t.Fatalf("parent shorter than child: a=%v b=%v", a.Duration, b.Duration)
+	}
+	// Recording after Close is a no-op.
+	tr.Begin("late")
+	tr.Attr("late", 1)
+	if len(root.Children) != 1 {
+		t.Fatalf("post-Close Begin mutated tree: %+v", root.Children)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTrace("optimize")
+	tr.Begin("explore")
+	tr.Attr("enodes", 100)
+	tr.Event("incumbent", 3.5)
+	tr.End()
+	root := tr.Close()
+
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, root); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, b.String())
+	}
+	// optimize X, explore X, incumbent i.
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3: %s", len(events), b.String())
+	}
+	var sawComplete, sawInstant bool
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			sawComplete = true
+			if _, ok := e["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", e)
+			}
+		case "i":
+			sawInstant = true
+			if e["name"] != "incumbent" {
+				t.Errorf("instant event = %v", e)
+			}
+		}
+	}
+	if !sawComplete || !sawInstant {
+		t.Fatalf("missing event kinds in %s", b.String())
+	}
+
+	// Nil root is an empty, still-valid array.
+	b.Reset()
+	if err := WriteChromeTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("nil root = %q", b.String())
+	}
+}

@@ -178,6 +178,8 @@ func TestParallelExploreMatchesSequential(t *testing.T) {
 			ss, ps := seq.Stats, par.Stats
 			ss.ExploreTime, ps.ExploreTime = 0, 0
 			ss.SearchTime, ps.SearchTime = 0, 0
+			ss.ApplyTime, ps.ApplyTime = 0, 0
+			ss.RebuildTime, ps.RebuildTime = 0, 0
 			if ss != ps {
 				t.Fatalf("stats diverge:\nworkers=1: %+v\nworkers=4: %+v", ss, ps)
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tensat/internal/egraph"
+	"tensat/internal/obs"
 	"tensat/internal/pattern"
 	"tensat/internal/tensor"
 )
@@ -68,6 +69,12 @@ type Stats struct {
 	ENodes        int  // final e-node count
 	EClasses      int  // final e-class count
 	ExploreTime   time.Duration
+	// ApplyTime and RebuildTime split out the remainder of ExploreTime:
+	// the rule-application loop (shape checks, cycle pre-filtering,
+	// instantiation and unions) and the congruence rebuild plus cycle
+	// post-processing, each summed over iterations.
+	ApplyTime   time.Duration
+	RebuildTime time.Duration
 	// SearchTime is the part of ExploreTime spent in the e-matching
 	// search phase (freezing the view, op-index build, dirty-class
 	// computation and the pattern-program scans), summed over
@@ -131,6 +138,12 @@ type Runner struct {
 	// completed iteration. It must return quickly and must not touch
 	// the e-graph.
 	Progress func(iteration, enodes, eclasses int)
+	// Trace, when non-nil, receives phase spans: an "explore" span
+	// containing one "iteration" span per iteration, each with
+	// "search", "apply" and "rebuild" children annotated with e-node /
+	// e-class deltas. A nil Trace records nothing and costs a nil
+	// check per phase boundary.
+	Trace *obs.Trace
 }
 
 // NewRunner builds a Runner with default limits and efficient filtering.
@@ -172,6 +185,7 @@ func (r *Runner) RunOnEGraph(g *egraph.EGraph, root egraph.ClassID) *Explored {
 
 func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 	start := time.Now()
+	r.Trace.Begin("explore")
 	g := ex.G
 	lim := r.Limits
 	// MaxNodes/Timeout zero means "default"; MaxIters 0 is honored as-is
@@ -237,6 +251,10 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 	ex.Stats.ENodes = g.NodeCount()
 	ex.Stats.EClasses = g.ClassCount()
 	ex.Stats.ExploreTime = time.Since(start)
+	r.Trace.Attr("iterations", int64(ex.Stats.Iterations))
+	r.Trace.Attr("enodes", int64(ex.Stats.ENodes))
+	r.Trace.Attr("eclasses", int64(ex.Stats.EClasses))
+	r.Trace.End()
 }
 
 // stopped reports whether the cancellation channel has fired; a nil
@@ -263,7 +281,15 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 
 	g := ex.G
 	nodesBefore := g.NodeCount()
+	classesBefore := g.ClassCount()
+	matchesBefore := ex.Stats.Matches
+	appliedBefore := ex.Stats.Applied
+	scannedBefore := ex.Stats.SearchScanned
+	searchMatchesBefore := ex.Stats.SearchMatches
 	unioned := false
+
+	r.Trace.Begin("iteration")
+	r.Trace.Attr("iteration", int64(ex.Stats.Iterations))
 
 	// One descendants snapshot per iteration for the efficient filter.
 	var desc descendants
@@ -273,9 +299,13 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 
 	// SEARCH(G, e_c): all matches for all canonical patterns, matched
 	// concurrently against a frozen read-only view of the e-graph.
+	r.Trace.Begin("search")
 	searchStart := time.Now()
 	r.searchAll(g.Freeze(), cr, st, ex, done)
 	ex.Stats.SearchTime += time.Since(searchStart)
+	r.Trace.Attr("scanned", int64(ex.Stats.SearchScanned-scannedBefore))
+	r.Trace.Attr("matches", int64(ex.Stats.SearchMatches-searchMatchesBefore))
+	r.Trace.End()
 
 	apply := func(rule *Rule, matched []egraph.ClassID, subst pattern.Subst) {
 		// Shape checking (§4) over every target pattern.
@@ -324,6 +354,8 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 		ex.Stats.Applied++
 	}
 
+	r.Trace.Begin("apply")
+	applyStart := time.Now()
 	for _, rule := range r.Rules {
 		if rule.IsMulti() && !useMulti {
 			continue
@@ -372,12 +404,26 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 			interrupted = true
 		}
 	}
+	ex.Stats.ApplyTime += time.Since(applyStart)
+	r.Trace.Attr("matches", int64(ex.Stats.Matches-matchesBefore))
+	r.Trace.Attr("applied", int64(ex.Stats.Applied-appliedBefore))
+	r.Trace.End()
 
+	r.Trace.Begin("rebuild")
+	rebuildStart := time.Now()
 	g.Rebuild()
 
 	if r.Filter != FilterNone {
 		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered)
 	}
+	ex.Stats.RebuildTime += time.Since(rebuildStart)
+	r.Trace.End()
+
+	r.Trace.Attr("enodes", int64(g.NodeCount()))
+	r.Trace.Attr("eclasses", int64(g.ClassCount()))
+	r.Trace.Attr("enodes_delta", int64(g.NodeCount()-nodesBefore))
+	r.Trace.Attr("eclasses_delta", int64(g.ClassCount()-classesBefore))
+	r.Trace.End()
 	return unioned || g.NodeCount() != nodesBefore, interrupted
 }
 

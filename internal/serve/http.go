@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -179,6 +180,10 @@ type StatsReply struct {
 	Workers      int     `json:"workers"`
 	P50MS        float64 `json:"p50_ms"`
 	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	// LatencyWindow is how many recent cold latencies the percentiles
+	// are computed over (the ring capacity).
+	LatencyWindow int `json:"latency_window"`
 	// Asynchronous job counters (the /v1/jobs surface).
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsRunning   int    `json:"jobs_running"`
@@ -204,6 +209,13 @@ type VersionReply struct {
 	Version    string `json:"version"`
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Revision and BuildTime identify the exact build from the VCS
+	// stamp Go embeds (vcs.revision / vcs.time); "unknown" when built
+	// outside a checkout (e.g. go test binaries). Modified marks a
+	// build from a dirty working tree.
+	Revision  string `json:"revision"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
 }
 
 type errorReply struct {
@@ -220,11 +232,14 @@ type errorReply struct {
 //	GET    /v1/jobs/{id}/result — the result once done (OptimizeReply)
 //	DELETE /v1/jobs/{id}        — cancel the job
 //	GET    /v1/jobs/{id}/events — progress as server-sent events
+//	GET    /v1/jobs/{id}/trace  — the run's phase-span trace (TraceReply,
+//	                              or Chrome trace-event JSON with ?format=chrome)
 //	GET    /v1/rulesets         — named rule sets + content hashes
 //	GET    /v1/costmodels       — named device cost models + hashes
 //	GET    /v1/version          — build/runtime identification
 //	GET    /v1/stats            — service counters (StatsReply)
 //	GET    /v1/healthz          — liveness probe
+//	GET    /metrics             — Prometheus text exposition
 //
 // Deprecated surface, each answering with Deprecation/Link successor
 // headers: POST /optimize (synchronous submit-and-wait, sharing the
@@ -266,6 +281,10 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		handleJobEvents(s, w, r)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		handleJobTrace(s, w, r)
+	})
+	mux.Handle("GET /metrics", s.Metrics())
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, versionReply())
 	})
@@ -310,6 +329,8 @@ func handleStats(s *Service, w http.ResponseWriter) {
 		Workers:       s.Workers(),
 		P50MS:         float64(st.P50) / float64(time.Millisecond),
 		P95MS:         float64(st.P95) / float64(time.Millisecond),
+		P99MS:         float64(st.P99) / float64(time.Millisecond),
+		LatencyWindow: st.LatencyWindow,
 		JobsSubmitted: st.Jobs.Submitted,
 		JobsRunning:   st.Jobs.Running,
 		JobsDone:      st.Jobs.Done,
@@ -390,12 +411,23 @@ func versionReply() VersionReply {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	v.Revision = "unknown"
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		if bi.Main.Path != "" {
 			v.Module = bi.Main.Path
 		}
 		if bi.Main.Version != "" {
 			v.Version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				v.Revision = kv.Value
+			case "vcs.time":
+				v.BuildTime = kv.Value
+			case "vcs.modified":
+				v.Modified = kv.Value == "true"
+			}
 		}
 	}
 	return v
@@ -483,7 +515,11 @@ func handleJobResult(s *Service, w http.ResponseWriter, r *http.Request) {
 // handleJobEvents streams the job's progress log as server-sent
 // events: one "progress" event per snapshot (full history replayed
 // first, so late subscribers see everything), then a final "done"
-// event with the terminal JobReply.
+// event with the terminal JobReply. During quiet phases (a long ILP
+// solve between incumbents, say) the stream emits ": keepalive"
+// comment lines every Config.SSEKeepAlive so intermediary proxies
+// don't reap the idle connection; comment lines are invisible to
+// EventSource clients by SSE semantics.
 func handleJobEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 	job, ok := findJob(s, w, r)
 	if !ok {
@@ -504,6 +540,13 @@ func handleJobEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	}
+
+	var keepalive <-chan time.Time
+	if s.cfg.SSEKeepAlive > 0 {
+		t := time.NewTicker(s.cfg.SSEKeepAlive)
+		defer t.Stop()
+		keepalive = t.C
 	}
 
 	idx := 0
@@ -528,10 +571,148 @@ func handleJobEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 			return
 		case <-notify:
+		case <-keepalive:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// TraceSpanReply is one phase span of a job's trace on the wire; spans
+// nest into the tree recorded by the pipeline (see tensat.TraceSpan).
+type TraceSpanReply struct {
+	Name       string            `json:"name"`
+	StartMS    float64           `json:"start_ms"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]int64  `json:"attrs,omitempty"`
+	Events     []TraceEventReply `json:"events,omitempty"`
+	Children   []TraceSpanReply  `json:"children,omitempty"`
+}
+
+// TraceEventReply is a point-in-time event inside a span (e.g. an ILP
+// incumbent improvement; Value is the new incumbent cost).
+type TraceEventReply struct {
+	Name  string  `json:"name"`
+	AtMS  float64 `json:"at_ms"`
+	Value float64 `json:"value"`
+}
+
+// TraceReply is the body answering GET /v1/jobs/{id}/trace: the span
+// tree of the run that produced the job's result, plus the job's
+// recorded wall time. For cached or deduplicated jobs the trace is the
+// original cold run's, so its spans can predate the job itself.
+type TraceReply struct {
+	ID string `json:"id"`
+	// Cached and Deduped mirror the job outcome: when either is set the
+	// trace was recorded by the original cold run, not this job.
+	Cached  bool `json:"cached"`
+	Deduped bool `json:"deduped"`
+	// WallMS is the job's own recorded wall time (terminal progress
+	// Elapsed).
+	WallMS float64        `json:"wall_ms"`
+	Trace  TraceSpanReply `json:"trace"`
+}
+
+func toTraceSpanReply(s *tensat.TraceSpan) TraceSpanReply {
+	r := TraceSpanReply{
+		Name:       s.Name,
+		StartMS:    float64(s.Start) / float64(time.Millisecond),
+		DurationMS: float64(s.Duration) / float64(time.Millisecond),
+	}
+	if len(s.Attrs) > 0 {
+		r.Attrs = make(map[string]int64, len(s.Attrs))
+		for k, v := range s.Attrs {
+			r.Attrs[k] = v
+		}
+	}
+	for _, e := range s.Events {
+		r.Events = append(r.Events, TraceEventReply{
+			Name:  e.Name,
+			AtMS:  float64(e.At) / float64(time.Millisecond),
+			Value: e.Value,
+		})
+	}
+	for _, c := range s.Children {
+		r.Children = append(r.Children, toTraceSpanReply(c))
+	}
+	return r
+}
+
+// handleJobTrace answers GET /v1/jobs/{id}/trace: 409 while the job
+// runs (mirroring /result), 404 when the job finished without a trace
+// (canceled or failed runs have no result to trace). ?format=chrome
+// answers in the Chrome trace-event JSON that Perfetto opens directly.
+func handleJobTrace(s *Service, w http.ResponseWriter, r *http.Request) {
+	job, ok := findJob(s, w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done():
+	default:
+		status, prog := job.Status()
+		writeJSON(w, http.StatusConflict, errorReply{
+			Error: fmt.Sprintf("job %s not finished (status %s, phase %s)", job.ID(), status, prog.Phase),
+		})
+		return
+	}
+	resp, err := job.Outcome()
+	if err != nil || resp == nil || resp.Result == nil || resp.Result.Trace == nil {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: "job " + job.ID() + " has no trace"})
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+job.ID()+`.trace.json"`)
+		_ = tensat.WriteChromeTrace(w, resp.Result.Trace)
+		return
+	}
+	_, prog := job.Status()
+	writeJSON(w, http.StatusOK, TraceReply{
+		ID:      job.ID(),
+		Cached:  resp.Cached,
+		Deduped: resp.Deduped,
+		WallMS:  float64(prog.Elapsed) / float64(time.Millisecond),
+		Trace:   toTraceSpanReply(resp.Result.Trace),
+	})
+}
+
+// statusRecorder captures the response code for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming keeps working
+// behind the access log.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with structured per-request logging: method,
+// path, status, duration and remote address, one record per request at
+// Info level.
+func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr)
+	})
 }
 
 func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {

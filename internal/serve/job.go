@@ -395,7 +395,13 @@ func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Dur
 		return nil, err
 	}
 	key := requestKey(fp, opts, prof)
-	s.stats.profile(prof.label())
+	s.stats.profile(prof)
+	s.metrics.jobsSubmitted.Inc()
+	s.metrics.jobsRunning.Inc()
+	s.log.Info("job submitted",
+		"job", job.id,
+		"profile", prof.label(),
+		"fingerprint", fp)
 	go s.runJob(ctx, job, key, fp, names, g, opts)
 	return job, nil
 }
@@ -412,9 +418,31 @@ func (s *Service) Jobs() []*Job { return s.jobs.list() }
 // JobCounters snapshots the job store counters.
 func (s *Service) JobCounters() JobCounters { return s.jobs.counters() }
 
-// finishJob records the terminal state in the job and the store.
+// finishJob records the terminal state in the job, the store, the
+// Prometheus job-lifecycle counters, and the structured log.
 func (s *Service) finishJob(job *Job, resp *Response, err error) {
-	s.jobs.recordFinish(job.finish(resp, err))
+	status := job.finish(resp, err)
+	s.jobs.recordFinish(status)
+	s.metrics.jobsRunning.Dec()
+	attrs := []any{
+		"job", job.id,
+		"status", string(status),
+		"profile", job.prof.label(),
+		"duration", time.Since(job.created),
+	}
+	switch status {
+	case JobCanceled:
+		s.metrics.jobsCanceled.Inc()
+	case JobFailed:
+		s.metrics.jobsFailed.Inc()
+		attrs = append(attrs, "error", err.Error())
+	default:
+		s.metrics.jobsDone.Inc()
+		if resp != nil {
+			attrs = append(attrs, "cached", resp.Cached, "deduped", resp.Deduped)
+		}
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // runJob drives one asynchronous job through the same cache →

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"tensat"
+	"tensat/internal/obs"
+)
+
+// metrics is the service's Prometheus-exposed instrument bundle,
+// registered on one obs.Registry that Service.Metrics exposes and
+// NewHandler serves as GET /metrics. The collector bumps the counters
+// alongside its JSON-stats counterparts (one set of call sites, two
+// exposition formats), so the two surfaces can never drift.
+type metrics struct {
+	reg *obs.Registry
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheDedup  *obs.Counter
+
+	requests  *obs.CounterVec // by ruleset, cost_model
+	canceled  *obs.Counter
+	completed *obs.Counter
+	runErrors *obs.Counter
+	inFlight  *obs.Gauge
+
+	jobsSubmitted *obs.Counter
+	jobsDone      *obs.Counter
+	jobsCanceled  *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsRunning   *obs.Gauge
+
+	phaseSeconds *obs.HistogramVec // by phase
+	runSeconds   *obs.Histogram
+
+	enodes   *obs.Gauge
+	eclasses *obs.Gauge
+
+	searchScanned *obs.Counter
+	searchPruned  *obs.Counter
+	searchDirty   *obs.Counter
+	searchClean   *obs.Counter
+	searchMatches *obs.Counter
+}
+
+func newMetrics(s *Service) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{
+		reg: r,
+
+		cacheHits:   r.Counter("tensat_cache_hits_total", "Requests answered from the result cache."),
+		cacheMisses: r.Counter("tensat_cache_misses_total", "Requests that had to consult the flight group."),
+		cacheDedup:  r.Counter("tensat_cache_dedup_total", "Requests that joined an in-flight identical run."),
+
+		requests:  r.CounterVec("tensat_requests_total", "Requests by resolved optimization profile.", "ruleset", "cost_model"),
+		canceled:  r.Counter("tensat_requests_canceled_total", "Requests abandoned by their callers."),
+		completed: r.Counter("tensat_runs_completed_total", "Cold optimization runs that finished successfully."),
+		runErrors: r.Counter("tensat_run_errors_total", "Cold optimization runs that failed."),
+		inFlight:  r.Gauge("tensat_optimizations_inflight", "Optimizations currently holding a worker slot."),
+
+		jobsSubmitted: r.Counter("tensat_jobs_submitted_total", "Asynchronous jobs accepted by POST /v1/jobs."),
+		jobsDone:      r.Counter("tensat_jobs_done_total", "Asynchronous jobs finished successfully."),
+		jobsCanceled:  r.Counter("tensat_jobs_canceled_total", "Asynchronous jobs canceled or timed out."),
+		jobsFailed:    r.Counter("tensat_jobs_failed_total", "Asynchronous jobs that failed."),
+		jobsRunning:   r.Gauge("tensat_jobs_running", "Asynchronous jobs currently running."),
+
+		phaseSeconds: r.HistogramVec("tensat_phase_seconds",
+			"Pipeline phase latency by phase (explore, search, apply, rebuild, extract_greedy, extract_ilp).",
+			obs.LatencyBuckets, "phase"),
+		runSeconds: r.Histogram("tensat_run_seconds", "End-to-end cold optimization latency.", obs.LatencyBuckets),
+
+		enodes:   r.Gauge("tensat_egraph_enodes", "Final e-node count of the most recently completed run."),
+		eclasses: r.Gauge("tensat_egraph_eclasses", "Final e-class count of the most recently completed run."),
+
+		searchScanned: r.Counter("tensat_search_classes_scanned_total", "E-classes visited by the e-matching pattern programs."),
+		searchPruned:  r.Counter("tensat_search_classes_pruned_total", "E-classes skipped by the operator index."),
+		searchDirty:   r.Counter("tensat_search_dirty_researched_total", "Dirty candidate classes re-searched incrementally."),
+		searchClean:   r.Counter("tensat_search_clean_reused_total", "Clean candidate classes answered from the match memo."),
+		searchMatches: r.Counter("tensat_search_matches_total", "Matches produced by the e-matching search phase."),
+	}
+	r.GaugeFunc("tensat_cache_entries", "Current result-cache population.", func() float64 {
+		return float64(s.cache.len())
+	})
+	r.GaugeFunc("tensat_workers", "Configured worker-pool bound.", func() float64 {
+		return float64(s.cfg.Workers)
+	})
+
+	// tensat_build_info follows the Prometheus convention for version
+	// identification: constant 1 with the identity in the labels.
+	info := r.CounterVec("tensat_build_info", "Build identity (constant 1).", "go_version", "revision")
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	info.With(runtime.Version(), revision).Inc()
+	return m
+}
+
+// observeRun folds one successful cold run into the phase histograms
+// and e-graph gauges. The extractor phase label follows the effective
+// option, so greedy and ILP latencies land in distinct series.
+func (m *metrics) observeRun(res *tensat.Result, opts tensat.Options) {
+	if m == nil || res == nil {
+		return
+	}
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	m.phaseSeconds.With("explore").Observe(sec(res.ExploreTime))
+	m.phaseSeconds.With("search").Observe(sec(res.Search.Time))
+	m.phaseSeconds.With("apply").Observe(sec(res.ApplyTime))
+	m.phaseSeconds.With("rebuild").Observe(sec(res.RebuildTime))
+	if opts.Extractor == tensat.ExtractGreedy {
+		m.phaseSeconds.With("extract_greedy").Observe(sec(res.ExtractTime))
+	} else {
+		m.phaseSeconds.With("extract_ilp").Observe(sec(res.ExtractTime))
+	}
+	m.enodes.Set(float64(res.ENodes))
+	m.eclasses.Set(float64(res.EClasses))
+}

@@ -24,6 +24,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"strings"
@@ -31,6 +33,7 @@ import (
 
 	"tensat"
 	"tensat/internal/fingerprint"
+	"tensat/internal/obs"
 	"tensat/internal/tensor"
 )
 
@@ -57,16 +60,27 @@ type Config struct {
 	// select; nil means tensat.DefaultRegistry() (the built-ins plus
 	// whatever the daemon loaded from -rules-dir/-device-dir).
 	Registry *tensat.Registry
+	// Logger receives structured job/request lifecycle records (job id,
+	// profile, cache outcome, duration). nil discards them — tests and
+	// embedders that don't care pay nothing.
+	Logger *slog.Logger
+	// SSEKeepAlive is how often an idle /v1/jobs/{id}/events stream
+	// emits a ": keepalive" comment line so proxies and load balancers
+	// don't reap quiet connections; 0 means 15 seconds, negative
+	// disables keepalives.
+	SSEKeepAlive time.Duration
 }
 
 // Service is a concurrent graph-optimization service.
 type Service struct {
-	cfg    Config
-	sem    chan struct{}
-	cache  *lruCache
-	flight *flightGroup
-	jobs   *jobStore
-	stats  collector
+	cfg     Config
+	sem     chan struct{}
+	cache   *lruCache
+	flight  *flightGroup
+	jobs    *jobStore
+	stats   collector
+	metrics *metrics
+	log     *slog.Logger
 
 	// opt is the shared optimizer: the rule set and cost model are
 	// compiled once at construction and reused by every run.
@@ -100,6 +114,9 @@ func New(cfg Config) *Service {
 	if cfg.Registry == nil {
 		cfg.Registry = tensat.DefaultRegistry()
 	}
+	if cfg.SSEKeepAlive == 0 {
+		cfg.SSEKeepAlive = 15 * time.Second
+	}
 	s := &Service{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.Workers),
@@ -112,6 +129,14 @@ func New(cfg Config) *Service {
 			tensat.WithRegistry(cfg.Registry),
 		),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		// go1.22 has no slog.DiscardHandler; a Text handler on
+		// io.Discard is the same thing.
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.metrics = newMetrics(s)
+	s.stats.m = s.metrics
 	s.optimize = func(ctx context.Context, g *tensat.Graph, opts tensat.Options) (*tensat.Result, error) {
 		job, err := s.opt.Submit(ctx, g, opts)
 		if err != nil {
@@ -122,13 +147,17 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// Metrics returns the service's Prometheus registry (the GET /metrics
+// exposition source). Embedders may mount it on their own mux.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
+
 func isZeroOptions(o tensat.Options) bool {
 	return o.Rules == nil && o.CostModel == nil &&
 		o.RuleSet == "" && o.CostModelName == "" && o.NodeLimit == 0 &&
 		o.IterLimit == 0 && o.KMulti == 0 && o.ExploreTimeout == 0 &&
 		o.ILPTimeout == 0 && o.Extractor == tensat.ExtractILP &&
 		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt &&
-		o.Workers == 0 && o.Progress == nil
+		o.Workers == 0 && o.Progress == nil && !o.Trace
 }
 
 // RequestOptions are the per-request optimization knobs. The zero
@@ -392,7 +421,7 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 		return nil, err
 	}
 	key := requestKey(fp, opts, prof)
-	s.stats.profile(prof.label())
+	s.stats.profile(prof)
 
 	if entry, ok := s.cache.get(key); ok {
 		s.stats.hit()
@@ -434,10 +463,14 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 // the flight call's reference-counted context.
 func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Options) {
 	// Live progress flows into the flight's shared log, where every
-	// waiter — async jobs in particular — can pump it out. The sink is
-	// not part of the cache key (see optionsKey) so setting it here,
-	// after keying, is safe.
+	// waiter — async jobs in particular — can pump it out. Neither the
+	// sink nor the trace switch is part of the cache key (see
+	// optionsKey) so setting them here, after keying, is safe; the
+	// recorded span tree rides the Result into the cache, where every
+	// hit and deduplicated sibling shares the cold run's (immutable)
+	// trace.
 	opts.Progress = c.progress.publish
+	opts.Trace = true
 	// Acquire a worker slot; bail out if every interested request is
 	// gone before one frees up.
 	select {
@@ -454,6 +487,7 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	s.stats.endWork(time.Since(start), err)
 	if err == nil && res != nil {
 		s.stats.searchWork(res.Search)
+		s.metrics.observeRun(res, opts)
 	}
 	// A canceled run is not a complete result: OptimizeContext normally
 	// surfaces cancellation as an error, but if a result does carry the

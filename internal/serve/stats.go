@@ -35,9 +35,13 @@ type Stats struct {
 	// op-index pruning and incremental re-search wins are observable in
 	// the serving layer.
 	Search SearchCounters
-	// P50 and P95 are percentiles over the most recent cold (uncached)
-	// optimization latencies; zero until the first run completes.
-	P50, P95 time.Duration
+	// P50, P95 and P99 are percentiles over the most recent cold
+	// (uncached) optimization latencies; zero until the first run
+	// completes. LatencyWindow is how many recent latencies the
+	// percentiles are computed over (the ring capacity, not the current
+	// population).
+	P50, P95, P99 time.Duration
+	LatencyWindow int
 }
 
 // SearchCounters sums tensat.SearchStats over completed runs: classes
@@ -55,8 +59,13 @@ type SearchCounters struct {
 // latencyWindow is how many recent cold latencies feed the percentiles.
 const latencyWindow = 512
 
-// collector accumulates counters and a sliding latency window.
+// collector accumulates counters and a sliding latency window. When m
+// is set (every Service sets it at construction), each bump also feeds
+// the equivalent Prometheus instrument, so the JSON stats and the
+// /metrics exposition share one set of call sites and cannot drift.
 type collector struct {
+	m *metrics
+
 	mu        sync.Mutex
 	hits      uint64
 	misses    uint64
@@ -71,21 +80,62 @@ type collector struct {
 	ringN     int // total latencies ever recorded
 }
 
-func (c *collector) hit()    { c.mu.Lock(); c.hits++; c.mu.Unlock() }
-func (c *collector) miss()   { c.mu.Lock(); c.misses++; c.mu.Unlock() }
-func (c *collector) dedup()  { c.mu.Lock(); c.deduped++; c.mu.Unlock() }
-func (c *collector) cancel() { c.mu.Lock(); c.canceled++; c.mu.Unlock() }
+func (c *collector) hit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.cacheHits.Inc()
+	}
+}
 
-func (c *collector) startWork() { c.mu.Lock(); c.inFlight++; c.mu.Unlock() }
+func (c *collector) miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.cacheMisses.Inc()
+	}
+}
 
-// profile counts one request against its resolved profile label.
-func (c *collector) profile(label string) {
+func (c *collector) dedup() {
+	c.mu.Lock()
+	c.deduped++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.cacheDedup.Inc()
+	}
+}
+
+func (c *collector) cancel() {
+	c.mu.Lock()
+	c.canceled++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.canceled.Inc()
+	}
+}
+
+func (c *collector) startWork() {
+	c.mu.Lock()
+	c.inFlight++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.inFlight.Inc()
+	}
+}
+
+// profile counts one request against its resolved profile.
+func (c *collector) profile(p profile) {
 	c.mu.Lock()
 	if c.profiles == nil {
 		c.profiles = make(map[string]uint64)
 	}
-	c.profiles[label]++
+	c.profiles[p.label()]++
 	c.mu.Unlock()
+	if c.m != nil {
+		c.m.requests.With(p.RuleSet, p.CostModel).Inc()
+	}
 }
 
 // searchWork folds one completed run's search-phase stats into the
@@ -98,15 +148,23 @@ func (c *collector) searchWork(s tensat.SearchStats) {
 	c.search.CleanReused += uint64(s.Clean)
 	c.search.Matches += uint64(s.Matches)
 	c.mu.Unlock()
+	if c.m != nil {
+		c.m.searchScanned.Add(uint64(s.Scanned))
+		c.m.searchPruned.Add(uint64(s.Pruned))
+		c.m.searchDirty.Add(uint64(s.Dirty))
+		c.m.searchClean.Add(uint64(s.Clean))
+		c.m.searchMatches.Add(uint64(s.Matches))
+	}
 }
 
 func (c *collector) endWork(d time.Duration, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.inFlight--
+	completed := false
 	switch {
 	case err == nil:
 		c.completed++
+		completed = true
 		c.ring[c.ringN%latencyWindow] = d
 		c.ringN++
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -115,6 +173,18 @@ func (c *collector) endWork(d time.Duration, err error) {
 		// counter already recorded each abandoning caller.
 	default:
 		c.errors++
+	}
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.inFlight.Dec()
+		switch {
+		case completed:
+			c.m.completed.Inc()
+			c.m.runSeconds.Observe(d.Seconds())
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		default:
+			c.m.runErrors.Inc()
+		}
 	}
 }
 
@@ -138,6 +208,7 @@ func (c *collector) snapshot() Stats {
 			s.Profiles[k] = v
 		}
 	}
+	s.LatencyWindow = latencyWindow
 	n := c.ringN
 	if n > latencyWindow {
 		n = latencyWindow
@@ -148,6 +219,7 @@ func (c *collector) snapshot() Stats {
 		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
 		s.P50 = window[n/2]
 		s.P95 = window[(n*95)/100]
+		s.P99 = window[(n*99)/100]
 	}
 	return s
 }

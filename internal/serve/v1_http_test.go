@@ -472,6 +472,11 @@ func TestV1Version(t *testing.T) {
 	if v.Module == "" || v.Version == "" || !strings.HasPrefix(v.GoVersion, "go") || v.GOMAXPROCS < 1 {
 		t.Fatalf("version reply = %+v", v)
 	}
+	// The revision is the VCS commit when stamped, "unknown" otherwise
+	// (test binaries are built without VCS stamping) — never empty.
+	if v.Revision == "" {
+		t.Fatalf("version reply has empty revision: %+v", v)
+	}
 }
 
 // TestOptimizeDeprecationHeaders: the legacy endpoint advertises its

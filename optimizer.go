@@ -11,6 +11,7 @@ import (
 	"tensat/internal/cost"
 	"tensat/internal/extract"
 	"tensat/internal/ilp"
+	"tensat/internal/obs"
 	"tensat/internal/rewrite"
 	"tensat/internal/rules"
 )
@@ -186,6 +187,9 @@ func (o *Optimizer) resolve(opt Options) Options {
 	}
 	if opt.ILPTimeout == 0 {
 		opt.ILPTimeout = b.ILPTimeout
+	}
+	if !opt.Trace {
+		opt.Trace = b.Trace
 	}
 	def := DefaultOptions()
 	if opt.NodeLimit == 0 {
@@ -370,8 +374,16 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 		model = o.model
 	}
 
+	// One trace serves the whole run; nil when tracing is off, which
+	// every recording call tolerates at the cost of a nil check.
+	var tr *obs.Trace
+	if opt.Trace {
+		tr = obs.NewTrace("optimize")
+	}
+
 	runner := rewrite.NewRunner(ruleset)
 	runner.Compiled = compiled
+	runner.Trace = tr
 	runner.Limits = rewrite.Limits{
 		MaxNodes: opt.NodeLimit,
 		MaxIters: opt.IterLimit,
@@ -418,9 +430,12 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 		})
 	}
 	var res *extract.Result
+	tr.Begin("extract")
 	switch opt.Extractor {
 	case ExtractGreedy:
+		tr.Begin("greedy")
 		res, err = extract.GreedyContext(ctx, ex, model)
+		tr.End()
 	default:
 		topo := ilp.TopoReal
 		if opt.TopoInt {
@@ -430,6 +445,7 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 			CycleConstraints: opt.CycleFilter == FilterNone,
 			TopoMode:         topo,
 			Timeout:          opt.ILPTimeout,
+			Trace:            tr,
 		}
 		if sink != nil {
 			ilpOpts.OnIncumbent = func(cost float64) {
@@ -444,6 +460,7 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 		}
 		res, err = extract.ILPContext(ctx, ex, model, ilpOpts)
 	}
+	tr.End() // extract
 	if err != nil {
 		// A canceled context can surface from the extractors as a
 		// domain error (e.g. the ILP's ErrTimeout when cancellation
@@ -466,6 +483,8 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 		SpeedupPercent: cost.SpeedupPercent(orig, res.Cost),
 		ExploreTime:    ex.Stats.ExploreTime,
 		ExtractTime:    res.Time,
+		ApplyTime:      ex.Stats.ApplyTime,
+		RebuildTime:    ex.Stats.RebuildTime,
 		ENodes:         ex.Stats.ENodes,
 		EClasses:       ex.Stats.EClasses,
 		Iterations:     ex.Stats.Iterations,
@@ -485,5 +504,6 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 	if res.ILP != nil {
 		out.ILPOptimal = res.ILP.Optimal
 	}
+	out.Trace = tr.Close()
 	return out, nil
 }

@@ -91,9 +91,11 @@ package tensat
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"tensat/internal/cost"
+	"tensat/internal/obs"
 	"tensat/internal/rewrite"
 	"tensat/internal/rules"
 	"tensat/internal/tensor"
@@ -224,6 +226,12 @@ type Options struct {
 	// return quickly, and takes no part in option identity (a serving
 	// cache must not key on it).
 	Progress func(Progress)
+	// Trace, when true, records a structured phase-span trace of the
+	// run — explore iterations with search/apply/rebuild children and
+	// e-node/e-class deltas, extraction with ILP model/solve spans and
+	// incumbent events — returned as Result.Trace. Like Progress it is
+	// pure observability and takes no part in option identity.
+	Trace bool
 }
 
 // DefaultOptions mirrors the paper's experimental setup (§6.1).
@@ -269,6 +277,12 @@ type Result struct {
 	// ExploreTime and ExtractTime split the optimization time
 	// (Table 3's breakdown).
 	ExploreTime, ExtractTime time.Duration
+	// ApplyTime and RebuildTime break ExploreTime down further: the
+	// rule-application loops and the congruence rebuilds (incl. cycle
+	// post-processing), summed over iterations. Search.Time is the
+	// third component; the remainder is per-iteration bookkeeping such
+	// as the descendants snapshot for cycle pre-filtering.
+	ApplyTime, RebuildTime time.Duration
 	// ENodes and EClasses are final e-graph sizes; Iterations counts
 	// exploration rounds; Saturated is true only when a full iteration
 	// completed without changing the e-graph — a canceled or timed-out
@@ -291,6 +305,26 @@ type Result struct {
 	// Search breaks down the e-matching search phase (op-index pruning,
 	// incremental re-search, match counts).
 	Search SearchStats
+	// Trace is the run's phase-span tree when Options.Trace was set
+	// (nil otherwise). It is immutable once returned and safe to share;
+	// WriteChromeTrace exports it for Perfetto.
+	Trace *TraceSpan
+}
+
+// TraceSpan is one timed phase of a run: name, start offset, duration,
+// integer attributes, point events, and child spans. Result.Trace is
+// the root of a span tree.
+type TraceSpan = obs.Span
+
+// TraceEvent is a point-in-time marker inside a TraceSpan, e.g. an ILP
+// incumbent improvement carrying the new cost.
+type TraceEvent = obs.Event
+
+// WriteChromeTrace renders a span tree in the Chrome trace-event JSON
+// format, which Perfetto (ui.perfetto.dev) and chrome://tracing open
+// directly. A nil root writes an empty, still-valid trace.
+func WriteChromeTrace(w io.Writer, root *TraceSpan) error {
+	return obs.WriteChromeTrace(w, root)
 }
 
 // Optimize runs the full TENSAT pipeline on g: exploration by equality
