@@ -1,0 +1,46 @@
+# Developer entry points. Everything here is plain `go` — no tools
+# need installing; the two network-fetched linters are pinned by
+# version below so CI and laptops agree on what they run.
+
+GO ?= go
+
+# Pinned external linters (used by lint-full; `go run` fetches them on
+# demand, so they need network the first time). Bump deliberately —
+# these versions are what CI enforces.
+STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1
+GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: build test race lint lint-full vet-rules fmt-check tensatlint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/serve/... ./internal/egraph/... ./internal/rewrite/... .
+
+# lint runs every check that works offline: gofmt, go vet, the
+# project's own invariant analyzers (tensatlint), and the static
+# rule/profile verifier. This is the pre-push gate.
+lint: fmt-check
+	$(GO) vet ./...
+	$(GO) run ./cmd/tensatlint ./...
+	$(GO) run ./cmd/tensat vet-rules profiles/rules
+
+# lint-full additionally runs the pinned third-party linters; needs
+# network on first run to fetch them. CI runs this.
+lint-full: lint
+	$(GO) run $(STATICCHECK) ./...
+	$(GO) run $(GOVULNCHECK) ./...
+
+vet-rules:
+	$(GO) run ./cmd/tensat vet-rules profiles/rules
+
+tensatlint:
+	$(GO) run ./cmd/tensatlint ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

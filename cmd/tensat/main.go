@@ -18,6 +18,17 @@
 // built-ins (rule sets taso-default, taso-single; devices t4, a100,
 // cpu) plus anything loaded with -rules-dir (*.rules files) and
 // -device-dir (*.json device specs).
+//
+// The vet-rules subcommand runs the static rule/profile verifier
+// (internal/rulecheck) without optimizing anything:
+//
+//	tensat vet-rules [-json] [-strict] [-costmodel t4] <dir-or-file>...
+//
+// It checks the built-in rule sets plus every named .rules file or
+// directory for shape-unsound rewrites, rules that can never fire,
+// dead targets, and target operators the cost model cannot price.
+// Exit status 1 means error findings (or any finding with -strict);
+// -json emits the findings as a machine-readable array.
 package main
 
 import (
@@ -37,6 +48,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tensat: ")
+
+	// Subcommands dispatch before flag parsing; everything else is the
+	// classic flag-driven optimizer run.
+	if len(os.Args) > 1 && os.Args[1] == "vet-rules" {
+		os.Exit(vetRulesMain(os.Args[2:]))
+	}
 
 	var (
 		model     = flag.String("model", "NasRNN", "benchmark model (NasRNN, BERT, ResNeXt-50, NasNet-A, SqueezeNet, VGG-19, Inception-v3, ResNet-50)")

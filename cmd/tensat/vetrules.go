@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tensat"
+	"tensat/internal/cost"
+	"tensat/internal/rulecheck"
+)
+
+// vetRulesMain implements `tensat vet-rules [flags] <dir-or-file>...`:
+// the static rule/profile verifier as a standalone command, for CI and
+// for authors iterating on .rules files. It returns the process exit
+// code: 0 when every argument vets clean (warnings allowed unless
+// -strict), 1 when findings fail, 2 on usage errors.
+func vetRulesMain(args []string) int {
+	fs := flag.NewFlagSet("vet-rules", flag.ContinueOnError)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array (machine-readable)")
+		strict    = fs.Bool("strict", false, "exit nonzero on warnings too, not just errors")
+		costmodel = fs.String("costmodel", "t4", "cost model to price target operators against (t4, a100, cpu)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tensat vet-rules [-json] [-strict] [-costmodel t4] <dir-or-file>...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	model, ok := tensat.DefaultRegistry().CostModel(*costmodel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tensat: unknown cost model %q\n", *costmodel)
+		return 2
+	}
+	// Cross-check the builtin rule sets too: a cost-model edit that
+	// strands a builtin rewrite should fail the same gate as a broken
+	// profile file.
+	findings := vetBuiltins(model)
+	for _, arg := range fs.Args() {
+		st, err := os.Stat(arg)
+		switch {
+		case err != nil:
+			findings = append(findings, rulecheck.Finding{
+				Source: arg, Class: rulecheck.ClassLoadError,
+				Severity: rulecheck.SevError, Detail: err.Error(),
+			})
+		case st.IsDir():
+			dirFindings, err := rulecheck.CheckDir(arg, model)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tensat: %v\n", err)
+				return 2
+			}
+			findings = append(findings, dirFindings...)
+		default:
+			findings = append(findings, rulecheck.CheckFile(arg, model)...)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []rulecheck.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "tensat: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) == 0 {
+			fmt.Println("vet-rules: all rule sets clean")
+		}
+	}
+
+	if rulecheck.HasErrors(findings) || (*strict && len(findings) > 0) {
+		return 1
+	}
+	return 0
+}
+
+// vetBuiltins verifies the compiled-in rule sets against the chosen
+// cost model.
+func vetBuiltins(model cost.Model) []rulecheck.Finding {
+	var out []rulecheck.Finding
+	reg := tensat.DefaultRegistry()
+	for _, name := range []string{tensat.DefaultRuleSetName, tensat.SingleRuleSetName} {
+		rs, ok := reg.RuleSet(name)
+		if !ok {
+			continue
+		}
+		out = append(out, rulecheck.CheckRules("builtin:"+name, rs, model)...)
+	}
+	return out
+}

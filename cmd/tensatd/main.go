@@ -37,8 +37,12 @@
 // directory as a named rule set (see the README for the line format)
 // and -device-dir loads every *.json device spec as a named cost
 // model; requests select them per job via the "ruleset"/"cost_model"
-// options. A malformed or unsound file refuses to boot the daemon —
-// better a loud start-up failure than a silently missing profile.
+// options. A malformed or shape-unsound file refuses to boot the
+// daemon — better a loud start-up failure than a silently missing
+// profile — and every loaded file passes through the static rule
+// verifier (internal/rulecheck): warnings are logged (-strict-rules
+// turns them into startup failures), and -vet-only runs only the
+// verifier and exits, for deploy-pipeline gating.
 //
 // Observability: the daemon logs structured records via log/slog
 // (-log-format json for machine ingestion), exposes Prometheus metrics
@@ -60,6 +64,7 @@ import (
 	"time"
 
 	"tensat"
+	"tensat/internal/rulecheck"
 	"tensat/internal/serve"
 )
 
@@ -77,6 +82,8 @@ func main() {
 		ilpTime       = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
 		rulesDir      = flag.String("rules-dir", "", "load every *.rules file in this directory as a named rule set profile")
 		deviceDir     = flag.String("device-dir", "", "load every *.json device spec in this directory as a named cost model profile")
+		strictRules   = flag.Bool("strict-rules", false, "fail startup on any static rule-verifier finding in -rules-dir, warnings included (shape-unsound rules always fail)")
+		vetOnly       = flag.Bool("vet-only", false, "vet -rules-dir with the static rule verifier and exit without serving (exit 1 on error findings, or any finding with -strict-rules)")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
 		keepAlive     = flag.Duration("sse-keepalive", 15*time.Second, "idle SSE keepalive comment interval (negative = disabled)")
@@ -109,7 +116,33 @@ func main() {
 		fatal("-search-workers must be >= 0", "got", *searchWorkers)
 	}
 
+	// -vet-only turns the daemon into a config checker: run the static
+	// rule verifier over -rules-dir and exit without binding a socket,
+	// so deploy pipelines can gate on profile health.
+	if *vetOnly {
+		if *rulesDir == "" {
+			fatal("-vet-only requires -rules-dir")
+		}
+		model, _ := tensat.DefaultRegistry().CostModel(tensat.DefaultCostModelName)
+		findings, err := rulecheck.CheckDir(*rulesDir, model)
+		if err != nil {
+			fatal("vetting rule sets", "error", err)
+		}
+		for _, f := range findings {
+			logger.Warn("rule vet finding", "source", f.Source, "rule", f.Rule,
+				"class", f.Class, "severity", f.Severity, "detail", f.Detail)
+		}
+		if rulecheck.HasErrors(findings) || (*strictRules && len(findings) > 0) {
+			os.Exit(1)
+		}
+		logger.Info("rule sets vetted", "dir", *rulesDir, "findings", len(findings))
+		return
+	}
+
 	registry := tensat.DefaultRegistry()
+	if *strictRules {
+		registry.SetRuleVetMode(tensat.RuleVetStrict)
+	}
 	if *rulesDir != "" {
 		infos, err := registry.LoadRulesDir(*rulesDir)
 		if err != nil {
@@ -119,6 +152,9 @@ func main() {
 			logger.Info("ruleset loaded",
 				"name", info.Name, "rules", info.Rules, "multi_rules", info.MultiRules,
 				"hash", info.Hash[:12], "source", info.Source)
+			for _, w := range info.VetWarnings {
+				logger.Warn("rule vet warning", "ruleset", info.Name, "finding", w)
+			}
 		}
 	}
 	if *deviceDir != "" {

@@ -1,0 +1,131 @@
+// Command tensatlint checks this repository's project invariants with
+// a multichecker of custom static analyzers:
+//
+//	cachekey       options structs flow every exported field into the
+//	               serving cache key (or carry //lint:cachekey-exempt)
+//	canonid        ClassID-keyed maps are indexed with canonicalized IDs
+//	frozenview     //lint:frozen snapshot types stay read-only
+//	obsdiscipline  metrics register once; Vec.With arity matches; span
+//	               timing never re-reads the clock
+//	ctxflow        exported looping code accepts and checks a Context
+//
+// Usage:
+//
+//	tensatlint [-run name,name] [-json] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is 1 when any diagnostic is reported, 2 on usage or
+// load errors — the same convention as go vet. With -json, findings
+// are emitted as a JSON array of {file, line, col, analyzer, message}
+// for machine consumption in CI.
+//
+// The checker is built on the standard library only (go/ast, go/types
+// with source-based stdlib importing) so it runs in hermetic
+// environments without a module proxy; see internal/analysis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tensat/internal/analysis"
+	"tensat/internal/analysis/cachekey"
+	"tensat/internal/analysis/canonid"
+	"tensat/internal/analysis/ctxflow"
+	"tensat/internal/analysis/frozenview"
+	"tensat/internal/analysis/obsdiscipline"
+)
+
+// all is the registered multichecker suite.
+var all = []*analysis.Analyzer{
+	cachekey.Analyzer,
+	canonid.Analyzer,
+	frozenview.Analyzer,
+	obsdiscipline.Analyzer,
+	ctxflow.Analyzer,
+}
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tensatlint [-run name,name] [-json] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range all {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tensatlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tensatlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tensatlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			pos := prog.Fset.Position(d.Pos)
+			out = append(out, finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Category, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tensatlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s [%s]\n", prog.Fset.Position(d.Pos), d.Message, d.Category)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,188 @@
+// Package analysis is a self-contained static-analysis framework for
+// this repository's invariant checkers (cmd/tensatlint). It mirrors
+// the shape of golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Diagnostic — but is built only on the standard library's go/ast,
+// go/parser and go/types, because this module deliberately has zero
+// external dependencies (go.mod) and must build in hermetic
+// environments with no module proxy.
+//
+// Differences from x/tools worth knowing:
+//
+//   - A Pass sees the whole program, not just one package: Pass.Prog
+//     holds every loaded package with full type information. The
+//     project's invariants are cross-package (tensat.Options fields
+//     must flow into serve's cache key), and at this module's size a
+//     whole-program view is cheaper than a facts system.
+//   - Directive comments (//lint:...) are first-class: the framework
+//     indexes them per file and line so analyzers share one syntax for
+//     exemptions and annotations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description shown by tensatlint -help.
+	Doc string
+	// Run checks one package (Pass.Pkg) and reports findings through
+	// Pass.Report. Analyzers enforcing whole-program invariants should
+	// anchor them to a defining package (the one holding the annotated
+	// declaration) so each finding is reported exactly once.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+// Package is one type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// directives indexes //lint:... comments by "file:line". Built
+	// lazily by LineDirective.
+	directives map[string][]string
+}
+
+// Program is the whole loaded program.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	byPath   map[string]*Package
+}
+
+// Package returns the loaded package with the given import path.
+func (p *Program) Package(path string) (*Package, bool) {
+	pkg, ok := p.byPath[path]
+	return pkg, ok
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diagnostics *[]Diagnostic
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	*p.diagnostics = append(*p.diagnostics, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DirectivePrefix is the comment prefix shared by every annotation the
+// analyzers understand (//lint:cachekey, //lint:canonical, ...).
+const DirectivePrefix = "//lint:"
+
+// LineDirective reports whether the source line holding pos (or the
+// line just above it, where doc-style directives live) carries a
+// //lint:<name> directive, and returns its argument text.
+func (pkg *Package) LineDirective(pos token.Pos, name string) (string, bool) {
+	if pkg.directives == nil {
+		pkg.directives = make(map[string][]string)
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, DirectivePrefix) {
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+					pkg.directives[key] = append(pkg.directives[key], strings.TrimPrefix(c.Text, DirectivePrefix))
+				}
+			}
+		}
+	}
+	p := pkg.Fset.Position(pos)
+	for _, probe := range []int{p.Line, p.Line - 1} {
+		key := fmt.Sprintf("%s:%d", p.Filename, probe)
+		for _, d := range pkg.directives[key] {
+			if d == name {
+				return "", true
+			}
+			if strings.HasPrefix(d, name+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(d, name+" ")), true
+			}
+		}
+	}
+	return "", false
+}
+
+// CommentDirective scans a comment group for a //lint:<name> directive
+// and returns its argument text.
+func CommentDirective(cg *ast.CommentGroup, name string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if !strings.HasPrefix(c.Text, DirectivePrefix) {
+			continue
+		}
+		body := strings.TrimPrefix(c.Text, DirectivePrefix)
+		if body == name {
+			return "", true
+		}
+		if strings.HasPrefix(body, name+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(body, name+" ")), true
+		}
+	}
+	return "", false
+}
+
+// Run executes analyzers over every package of prog and returns the
+// findings sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			pass := &Pass{
+				Analyzer:    a,
+				Prog:        prog,
+				Pkg:         pkg,
+				Fset:        prog.Fset,
+				diagnostics: &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

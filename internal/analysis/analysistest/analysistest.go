@@ -1,0 +1,131 @@
+// Package analysistest runs a tensatlint analyzer over a self-contained
+// testdata module and checks its diagnostics against golden expectations
+// written as // want "regexp" comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata directory is a real Go module (its own go.mod), which the
+// go tool never builds as part of the surrounding repository (path
+// elements named "testdata" are skipped) — so it can hold deliberate
+// invariant violations without tripping the repo-wide tensatlint run.
+//
+// Expectation syntax: a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// on a source line states that the analyzer must report at least one
+// diagnostic on that line matching each regexp. Diagnostics on lines
+// without a matching want, and wants with no matching diagnostic, both
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tensat/internal/analysis"
+)
+
+type want struct {
+	pos     string // file:line
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the module rooted at dir, applies the analyzer, and checks
+// every diagnostic against the // want comments in the module's files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		if !match(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %s", w.pos, w.raw)
+			}
+		}
+	}
+}
+
+// match marks the first unmatched want whose pattern matches msg; a
+// duplicate diagnostic may also re-match an already-satisfied want.
+func match(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	for _, w := range ws {
+		if w.re.MatchString(msg) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, prog *analysis.Program) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					body, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					pos := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+					for _, raw := range quotedStrings(t, pos, body) {
+						pat, err := strconv.Unquote(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, raw, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						out[pos] = append(out[pos], &want{pos: pos, raw: raw, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// quotedStrings splits `"a" "b"` into its Go-quoted segments.
+func quotedStrings(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment at %q: %v", pos, s, err)
+		}
+		out = append(out, q)
+		s = s[len(q):]
+	}
+}

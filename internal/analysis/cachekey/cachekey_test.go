@@ -1,0 +1,25 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"tensat/internal/analysis/analysistest"
+	"tensat/internal/analysis/cachekey"
+)
+
+func TestCachekey(t *testing.T) {
+	analysistest.Run(t, "testdata", cachekey.Analyzer)
+}
+
+func TestDescribeListsRequiredStructs(t *testing.T) {
+	got := cachekey.Describe()
+	want := []string{"tensat.Options", "tensat/internal/serve.RequestOptions"}
+	if len(got) != len(want) {
+		t.Fatalf("Describe() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Describe() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package tensat is the cachekey analyzer fixture. The module is named
+// tensat so the hardwired required-struct check fires on Options below.
+package tensat
+
+// Options deliberately lacks the //lint:cachekey directive: the
+// analyzer must demand one even though nothing else refers to it.
+type Options struct { // want `tensat\.Options is a cache-key struct and must carry a //lint:cachekey directive`
+	NodeLimit int
+}
+
+// Knobs exercises the field-flow check: Alpha is read directly by the
+// key function, Epsilon transitively through a helper, Gamma carries a
+// justified exemption, Delta an unjustified one, and Beta is the
+// deliberately omitted cache-key field.
+//
+//lint:cachekey keyfunc=tensat.knobsKey
+type Knobs struct {
+	Alpha int
+	Beta  int // want `field Knobs\.Beta does not flow into any key function`
+	// Gamma is pure observability.
+	//lint:cachekey-exempt progress reporting never changes the result
+	Gamma int
+	//lint:cachekey-exempt
+	Delta   int // want `//lint:cachekey-exempt on Knobs\.Delta needs a reason`
+	Epsilon int
+	hidden  int
+}
+
+func knobsKey(k *Knobs) string {
+	_ = k.Alpha
+	return helper(k)
+}
+
+func helper(k *Knobs) string {
+	_ = k.Epsilon
+	return ""
+}
+
+// Req exercises the <pkgpath>.<Type>.<method> keyfunc form.
+//
+//lint:cachekey keyfunc=tensat.Req.key
+type Req struct {
+	A int
+	B int // want `field Req\.B does not flow into any key function`
+}
+
+func (r *Req) key() string {
+	_ = r.A
+	return ""
+}
+
+// Bad1 has a malformed directive argument.
+//
+//lint:cachekey bogus=thing
+type Bad1 struct{ X int } // want `unknown directive argument`
+
+// Bad2 names a key function that does not exist.
+//
+//lint:cachekey keyfunc=tensat.missing
+type Bad2 struct{ X int } // want `key function "tensat\.missing" not found`
+
+// Bad3 names no key functions at all.
+//
+//lint:cachekey
+type Bad3 struct{ X int } // want `names no key functions`
+
+func use() {
+	_ = Knobs{}.hidden
+}

@@ -1,0 +1,3 @@
+module tensat
+
+go 1.24

@@ -1,0 +1,12 @@
+package canonid_test
+
+import (
+	"testing"
+
+	"tensat/internal/analysis/analysistest"
+	"tensat/internal/analysis/canonid"
+)
+
+func TestCanonid(t *testing.T) {
+	analysistest.Run(t, "testdata", canonid.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Package a is the canonid analyzer fixture: a miniature e-graph with
+// every canonical and non-canonical way of indexing a ClassID map.
+package a
+
+type ClassID int
+
+type Class struct{ ID ClassID }
+
+type uf struct{ parent []ClassID }
+
+func (u *uf) find(id ClassID) ClassID    { return u.parent[id] }
+func (u *uf) makeSet() ClassID           { return 0 }
+func (u *uf) union(a, b ClassID) ClassID { return a }
+
+type EGraph struct {
+	classes map[ClassID]*Class
+	uf      uf
+}
+
+func (g *EGraph) Find(id ClassID) ClassID { return g.uf.find(id) }
+
+// bad is the seeded violation: a raw parameter indexes the class map.
+func (g *EGraph) bad(id ClassID) *Class {
+	return g.classes[id] // want `ClassID map indexed with a value not canonicalized through Find`
+}
+
+func (g *EGraph) badRangeValues(ids []ClassID) {
+	for _, id := range ids {
+		_ = g.classes[id] // want `not canonicalized through Find`
+	}
+}
+
+func (g *EGraph) goodFind(id ClassID) *Class {
+	return g.classes[g.Find(id)]
+}
+
+func (g *EGraph) goodReassign(id ClassID) *Class {
+	id = g.Find(id)
+	return g.classes[id]
+}
+
+// goodTrusted documents a caller contract.
+//
+//lint:canonical id
+func (g *EGraph) goodTrusted(id ClassID) *Class {
+	return g.classes[id]
+}
+
+func (g *EGraph) goodAnnotated(id ClassID) *Class {
+	//lint:canonical fixture: pretend the caller canonicalizes
+	return g.classes[id]
+}
+
+func (g *EGraph) goodClassField(c *Class) *Class {
+	return g.classes[c.ID]
+}
+
+func (g *EGraph) goodConversion(i int) *Class {
+	return g.classes[ClassID(i)]
+}
+
+func (g *EGraph) goodFresh() *Class {
+	id := g.uf.makeSet()
+	return g.classes[id]
+}
+
+func (g *EGraph) goodUnionRoot(a, b ClassID) *Class {
+	root := g.uf.union(g.Find(a), g.Find(b))
+	return g.classes[root]
+}
+
+func (g *EGraph) goodRangeKeys() {
+	for id := range g.classes {
+		_ = g.classes[id]
+	}
+}
+
+type View struct {
+	find []ClassID
+	byID map[ClassID]*Class
+}
+
+// goodFrozenTable reads the frozen find table, the pure-lookup
+// equivalent of Find.
+func (v *View) goodFrozenTable(id ClassID) *Class {
+	return v.byID[v.find[id]]
+}

@@ -1,0 +1,3 @@
+module canonidtest
+
+go 1.24

@@ -1,0 +1,199 @@
+// Package ctxflow implements the tensatlint analyzer enforcing
+// cancellation discipline in the long-running layers: exported
+// functions of the rewrite, extract, ilp and serve packages that loop
+// or block must accept a context.Context (or an equivalent done
+// channel) and actually consult it. Equality saturation and ILP
+// extraction run for minutes; an exported entry point that loops
+// without a cancellation path strands callers behind Ctrl-C and HTTP
+// disconnects — the unpropagated-cancellation bug class PR 2 fixed by
+// hand, now machine-checked.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tensat/internal/analysis"
+)
+
+// Analyzer is the cancellation-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "check that exported looping/blocking functions in rewrite, extract, ilp " +
+		"and serve accept and consult a context.Context (or done channel)",
+	Run: run,
+}
+
+// scopedPackages are the package base names the invariant applies to:
+// the layers whose entry points can run unboundedly long.
+var scopedPackages = map[string]bool{
+	"rewrite": true,
+	"extract": true,
+	"ilp":     true,
+	"serve":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	base := pass.Pkg.PkgPath[strings.LastIndex(pass.Pkg.PkgPath, "/")+1:]
+	if !scopedPackages[base] {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			switch fd.Name.Name {
+			case "String", "Error", "GoString", "Format":
+				// fmt interface implementations format in-memory data;
+				// their loops are bounded by it.
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if reason, ok := pass.Pkg.LineDirective(fd.Pos(), "ctxflow-exempt"); ok {
+		if reason == "" {
+			pass.Reportf(fd.Pos(), "//lint:ctxflow-exempt on %s needs a reason (why can this loop not outlive its caller's interest?)", fd.Name.Name)
+		}
+		return
+	}
+	cancel := cancellationParams(pass, fd)
+	if len(cancel) > 0 {
+		// Has a cancellation input: require that it is consulted (or at
+		// least forwarded) somewhere in the body.
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if ok && cancel[resolve(pass, id)] {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(fd.Pos(),
+				"%s accepts a cancellation input but never consults or forwards it: a caller's cancel/disconnect is silently ignored", fd.Name.Name)
+		}
+		return
+	}
+	// No cancellation input: flag if the body can run unboundedly —
+	// a loop that does real work (contains calls) or channel blocking.
+	if pos, what := unboundedWork(pass, fd); pos != nil {
+		pass.Reportf(pos.Pos(),
+			"exported %s %s but accepts no context.Context or done channel: callers cannot cancel it (add a ctx parameter and check it, or annotate //lint:ctxflow-exempt <why>)",
+			fd.Name.Name, what)
+	}
+}
+
+// cancellationParams collects parameters that carry cancellation: a
+// context.Context, or a receive-only/bidirectional struct{} channel
+// conventionally named done/stop/quit/cancel.
+func cancellationParams(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			obj := pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if isContext(obj.Type()) || isDoneChan(obj.Type(), id.Name) {
+				out[obj] = true
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isDoneChan(t types.Type, name string) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	switch name {
+	case "done", "stop", "quit", "cancel":
+		return true
+	}
+	return false
+}
+
+// unboundedWork finds the first construct that can run unboundedly
+// long: a for/range loop whose body performs calls, a select, or a
+// blocking channel operation. Pure data loops (no calls) are treated
+// as bounded — they finish in time proportional to data already in
+// memory.
+func unboundedWork(pass *analysis.Pass, fd *ast.FuncDecl) (ast.Node, string) {
+	var found ast.Node
+	var what string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are the callee's concern
+		case *ast.ForStmt:
+			if loopDoesWork(n.Body) {
+				found, what = n, "loops over work"
+			}
+			return found == nil
+		case *ast.RangeStmt:
+			if loopDoesWork(n.Body) {
+				found, what = n, "loops over work"
+			}
+			return found == nil
+		case *ast.SelectStmt:
+			found, what = n, "blocks on channels"
+		case *ast.UnaryExpr:
+			// A bare receive outside a select blocks indefinitely.
+			if n.Op.String() == "<-" {
+				found, what = n, "blocks on a channel receive"
+			}
+		}
+		return found == nil
+	})
+	return found, what
+}
+
+// loopDoesWork reports whether a loop body contains function calls —
+// the signature of a loop whose per-iteration cost is unbounded.
+func loopDoesWork(body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		switch n.(type) {
+		case *ast.CallExpr:
+			work = true
+		case *ast.FuncLit:
+			return false
+		}
+		return !work
+	})
+	return work
+}
+
+func resolve(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Pkg.Info.Uses[id]
+}

@@ -1,0 +1,3 @@
+module ctxtest
+
+go 1.24

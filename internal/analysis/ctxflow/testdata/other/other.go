@@ -1,0 +1,11 @@
+// Package other is outside ctxflow's scope: identical unbounded loops
+// are not flagged here.
+package other
+
+func work(int) {}
+
+func Saturate(items []int) {
+	for _, it := range items {
+		work(it)
+	}
+}

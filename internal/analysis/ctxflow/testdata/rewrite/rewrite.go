@@ -1,0 +1,68 @@
+// Package rewrite is the ctxflow analyzer fixture; the package base
+// name puts it in the analyzer's scope.
+package rewrite
+
+import "context"
+
+func work(int) {}
+
+func Saturate(items []int) {
+	for _, it := range items { // want `exported Saturate loops over work but accepts no context\.Context or done channel`
+		work(it)
+	}
+}
+
+func SaturateCtx(ctx context.Context, items []int) {
+	for _, it := range items {
+		if ctx.Err() != nil {
+			return
+		}
+		work(it)
+	}
+}
+
+func Ignores(ctx context.Context, items []int) { // want `Ignores accepts a cancellation input but never consults or forwards it`
+	for _, it := range items {
+		work(it)
+	}
+}
+
+func WithDone(done <-chan struct{}, items []int) {
+	for _, it := range items {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		work(it)
+	}
+}
+
+// Bounded's loop performs no calls: pure data traversal is fine.
+func Bounded(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return total
+}
+
+// Exempted carries a justification.
+//
+//lint:ctxflow-exempt one pass over an in-memory list at load time
+func Exempted(items []int) {
+	for _, it := range items {
+		work(it)
+	}
+}
+
+//lint:ctxflow-exempt
+func BadExempt(items []int) { // want `//lint:ctxflow-exempt on BadExempt needs a reason`
+	for _, it := range items {
+		work(it)
+	}
+}
+
+func Recv(ch chan int) int {
+	return <-ch // want `exported Recv blocks on a channel receive but accepts no context\.Context or done channel`
+}

@@ -1,0 +1,12 @@
+package frozenview_test
+
+import (
+	"testing"
+
+	"tensat/internal/analysis/analysistest"
+	"tensat/internal/analysis/frozenview"
+)
+
+func TestFrozenview(t *testing.T) {
+	analysistest.Run(t, "testdata", frozenview.Analyzer)
+}

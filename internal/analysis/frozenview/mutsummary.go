@@ -1,0 +1,215 @@
+package frozenview
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tensat/internal/analysis"
+)
+
+// mutSummary computes, for every function declared in the package,
+// which of its slots (receiver and parameters) it mutates — directly
+// (assignment, IncDec, delete, clear through the slot) or transitively
+// (passing the slot, or a local derived from it, to another function
+// that mutates the corresponding slot). Receiver is slot -1; parameter
+// i is slot i. The computation runs to a fixpoint so mutation facts
+// propagate up arbitrary same-package call chains: unionFind.find path
+// compression makes EGraph.Find mutating, which makes anything calling
+// g.Find on a frozen view's inner graph a finding.
+//
+// Approximations: function literals and cross-package callees are
+// treated as non-mutating, and local derivation is lexical. Both err
+// quiet rather than noisy; the frozen types this analyzer guards live
+// in self-contained packages where call chains are direct.
+type mutSummary struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	mut   map[*types.Func]map[int]bool
+}
+
+const recvSlot = -1
+
+func newMutSummary(pass *analysis.Pass) *mutSummary {
+	m := &mutSummary{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		mut:   make(map[*types.Func]map[int]bool),
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					m.decls[fn] = fd
+					m.mut[fn] = make(map[int]bool)
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range m.decls {
+			if m.scan(fn, fd) {
+				changed = true
+			}
+		}
+	}
+	return m
+}
+
+func (m *mutSummary) mutatesReceiver(fn *types.Func) bool { return m.mut[fn][recvSlot] }
+func (m *mutSummary) mutatesParam(fn *types.Func, i int) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Variadic() && i >= sig.Params().Len()-1 {
+		i = sig.Params().Len() - 1
+	}
+	return m.mut[fn][i]
+}
+
+// scan recomputes fn's mutation set; reports whether it grew.
+func (m *mutSummary) scan(fn *types.Func, fd *ast.FuncDecl) bool {
+	slots := m.slotObjects(fd)
+	derived := m.deriveLocals(fd, slots)
+	grew := false
+	mark := func(mask map[int]bool) {
+		for slot := range mask {
+			if !m.mut[fn][slot] {
+				m.mut[fn][slot] = true
+				grew = true
+			}
+		}
+	}
+	slotsOf := func(e ast.Expr) map[int]bool {
+		root := rootObject(m.pass, e)
+		if root == nil {
+			return nil
+		}
+		return derived[root]
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // rebinding a local
+				}
+				mark(slotsOf(lhs))
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := n.X.(*ast.Ident); !isIdent {
+				mark(slotsOf(n.X))
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") {
+				if len(n.Args) > 0 {
+					mark(slotsOf(n.Args[0]))
+				}
+				return true
+			}
+			callee := m.callee(n)
+			if callee == nil {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && m.mutatesReceiver(callee) {
+				mark(slotsOf(sel.X))
+			}
+			for i, arg := range n.Args {
+				if m.mutatesParam(callee, i) {
+					mark(slotsOf(arg))
+				}
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// slotObjects maps the receiver and parameter objects to slot indexes.
+func (m *mutSummary) slotObjects(fd *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if obj := m.pass.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			out[obj] = recvSlot
+		}
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := m.pass.Pkg.Info.Defs[name]; obj != nil {
+				out[obj] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return out
+}
+
+// deriveLocals maps each object to the set of slots its value aliases.
+func (m *mutSummary) deriveLocals(fd *ast.FuncDecl, slots map[types.Object]int) map[types.Object]map[int]bool {
+	derived := make(map[types.Object]map[int]bool, len(slots))
+	for obj, slot := range slots {
+		derived[obj] = map[int]bool{slot: true}
+	}
+	for range 4 {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				obj := resolve(m.pass, id)
+				if obj == nil || !referenceLike(obj.Type()) {
+					continue
+				}
+				root := rootObject(m.pass, as.Rhs[i])
+				if root == nil {
+					continue
+				}
+				for slot := range derived[root] {
+					if !derived[obj][slot] {
+						if derived[obj] == nil {
+							derived[obj] = make(map[int]bool)
+						}
+						derived[obj][slot] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return derived
+}
+
+// callee resolves a call expression to a function declared in this
+// package (methods included), or nil.
+func (m *mutSummary) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = m.pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = m.pass.Pkg.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != m.pass.Pkg.Types {
+		return nil
+	}
+	if _, hasDecl := m.decls[fn]; !hasDecl {
+		return nil
+	}
+	return fn
+}

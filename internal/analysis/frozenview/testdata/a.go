@@ -1,0 +1,74 @@
+// Package a is the frozenview analyzer fixture: a frozen snapshot type
+// over a graph whose Find performs path compression (the real-world
+// trap this analyzer exists for).
+package a
+
+type ClassID int
+
+type Graph struct {
+	n      int
+	parent []ClassID
+}
+
+// Find mutates: path compression writes the parent table.
+func (g *Graph) Find(id ClassID) ClassID {
+	g.parent[id] = id
+	return id
+}
+
+func (g *Graph) Size() int { return g.n }
+
+func stomp(xs []ClassID) { xs[0] = 0 }
+
+func reads(xs []ClassID) ClassID {
+	if len(xs) > 0 {
+		return xs[0]
+	}
+	return 0
+}
+
+// View is a read-only snapshot shared across goroutines.
+//
+//lint:frozen
+type View struct {
+	g    *Graph
+	find []ClassID
+	byID map[ClassID]int
+}
+
+func (v *View) BadWrite() {
+	v.find[0] = 1 // want `writes receiver-owned state`
+}
+
+func (v *View) BadCallMutator(id ClassID) ClassID {
+	return v.g.Find(id) // want `calls Find, which mutates its receiver`
+}
+
+func (v *View) BadDelete(id ClassID) {
+	delete(v.byID, id) // want `calls delete on receiver-owned state`
+}
+
+func (v *View) BadAlias() {
+	f := v.find
+	f[1] = 2 // want `writes receiver-owned state`
+}
+
+func (v *View) BadPass() {
+	stomp(v.find) // want `passes receiver-owned state to stomp, which mutates parameter 0`
+}
+
+func (v *View) GoodRead(id ClassID) ClassID { return v.find[id] }
+
+func (v *View) GoodCall() int { return v.g.Size() }
+
+func (v *View) GoodPass() ClassID { return reads(v.find) }
+
+func (v *View) GoodLocal() int {
+	n := 0
+	n++
+	return n
+}
+
+func (v *View) Exempt() {
+	v.find[0] = 0 //lint:frozenview-exempt fixture: justified backdoor
+}

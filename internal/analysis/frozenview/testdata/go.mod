@@ -1,0 +1,3 @@
+module frozentest
+
+go 1.24

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Module     *struct{ Path string }
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load builds a whole-program view of the packages matched by the
+// given `go list` patterns (e.g. "./..."), rooted at dir. Every
+// matched package is parsed with comments and fully type-checked.
+// Standard-library imports are type-checked from $GOROOT source via
+// the go/importer "source" compiler, so loading works with no
+// pre-built export data and no network — the environment this module
+// is built for.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, byPath: make(map[string]*Package)}
+
+	// Parse everything first so type-checking can resolve
+	// intra-module imports from source in dependency order.
+	parsed := make(map[string][]*ast.File, len(pkgs))
+	for _, lp := range pkgs {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		parsed[lp.ImportPath] = files
+	}
+
+	imp := &progImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		done: make(map[string]*types.Package),
+	}
+	order, err := topoOrder(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, parsed[lp.ImportPath], info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+		}
+		imp.done[lp.ImportPath] = tpkg
+		pkg := &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Fset:    fset,
+			Files:   parsed[lp.ImportPath],
+			Types:   tpkg,
+			Info:    info,
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+	}
+	return prog, nil
+}
+
+// progImporter resolves module-internal imports from the packages
+// already type-checked this load, and everything else (the standard
+// library) from $GOROOT source.
+type progImporter struct {
+	std  types.Importer
+	done map[string]*types.Package
+}
+
+func (i *progImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.done[path]; ok {
+		return p, nil
+	}
+	return i.std.Import(path)
+}
+
+// goList shells out to `go list -json` for package metadata; the
+// toolchain owns build-constraint and module-layout knowledge, so the
+// loader does not reimplement it.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v: %s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listPackage
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkgs = append(pkgs, &lp)
+	}
+	return pkgs, nil
+}
+
+// topoOrder sorts packages so every package follows the loaded
+// packages it imports.
+func topoOrder(pkgs []*listPackage) ([]*listPackage, error) {
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	const (
+		white = iota // unvisited
+		gray         // on the current path
+		black        // done
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*listPackage
+	var visit func(p *listPackage) error
+	visit = func(p *listPackage) error {
+		switch state[p.ImportPath] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", p.ImportPath)
+		}
+		state[p.ImportPath] = gray
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = black
+		order = append(order, p)
+		return nil
+	}
+	sorted := append([]*listPackage(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

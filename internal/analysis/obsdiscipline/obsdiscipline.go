@@ -1,0 +1,311 @@
+// Package obsdiscipline implements the tensatlint analyzer enforcing
+// the observability rules this repository's metrics layer depends on:
+//
+//  1. Instruments are registered on an obs Registry exactly once, in a
+//     designated constructor (a function named newMetrics or init, or
+//     one annotated //lint:metrics-init). Registration sprinkled over
+//     request paths re-registers on every call — the obs registry
+//     panics, and Prometheus scrapes see duplicate series.
+//  2. Vec.With label arity matches the vec's declaration: a
+//     CounterVec declared with two labels and observed with one
+//     produces misattributed series at runtime, which no test of the
+//     happy path catches.
+//  3. No time.Now inside a function that already receives a start
+//     time.Time: span-timed regions measure from the start their
+//     caller captured; re-reading the clock silently shrinks the
+//     measured window.
+package obsdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tensat/internal/analysis"
+)
+
+// Analyzer is the observability-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsdiscipline",
+	Doc: "check metrics are registered once at init, Vec.With arity matches the " +
+		"declaration, and span-timed code does not re-read the clock",
+	Run: run,
+}
+
+// registrars are the obs.Registry methods that create instruments.
+var registrars = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"GaugeVec":     true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+// vecRegistrars is the subset whose results carry labels.
+var vecRegistrars = map[string]bool{
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if definesRegistry(pass) {
+		// The instrument implementation package (and its tests) builds
+		// registries as a matter of course.
+		return nil
+	}
+	arity := make(map[types.Object]int)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRegistrationSites(pass, fd, arity)
+			checkStartParamClock(pass, fd)
+		}
+	}
+	// Second pass: With arity, now that every declaration is known.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			checkWithArity(pass, n, arity)
+			return true
+		})
+	}
+	return nil
+}
+
+// definesRegistry reports whether this package declares a type named
+// Registry with registrar methods — i.e. it IS the metrics library.
+func definesRegistry(pass *analysis.Pass) bool {
+	obj := pass.Pkg.Types.Scope().Lookup("Registry")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return false
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if registrars[named.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRegistrationSites flags registrar calls outside designated
+// metric-constructor functions, and records vec label arities.
+func checkRegistrationSites(pass *analysis.Pass, fd *ast.FuncDecl, arity map[types.Object]int) {
+	allowed := fd.Name.Name == "newMetrics" || fd.Name.Name == "init"
+	if !allowed {
+		if _, ok := pass.Pkg.LineDirective(fd.Pos(), "metrics-init"); ok {
+			allowed = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registrars[sel.Sel.Name] || !isRegistryRecv(pass, sel.X) {
+			return true
+		}
+		if !allowed {
+			if _, ok := pass.Pkg.LineDirective(call.Pos(), "metrics-init"); !ok {
+				pass.Reportf(call.Pos(),
+					"metric registered outside a metrics constructor: %s calls must live in newMetrics/init (or a //lint:metrics-init function) so each instrument registers exactly once",
+					sel.Sel.Name)
+			}
+		}
+		if vecRegistrars[sel.Sel.Name] {
+			recordVecArity(pass, call, arity)
+		}
+		return true
+	})
+}
+
+// isRegistryRecv reports whether e's type is (a pointer to) a named
+// type called Registry.
+func isRegistryRecv(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// recordVecArity stores the declared label count for the variable or
+// struct field this vec-construction call is assigned to. The label
+// count is derived from the callee's signature: everything bound to
+// the trailing variadic []string parameter is a label.
+func recordVecArity(pass *analysis.Pass, call *ast.CallExpr, arity map[types.Object]int) {
+	callee := calleeFunc(pass, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return
+	}
+	labels := len(call.Args) - (sig.Params().Len() - 1)
+	if labels < 0 {
+		return
+	}
+	if obj := assignTarget(pass, call); obj != nil {
+		arity[obj] = labels
+	}
+}
+
+// assignTarget finds the object (variable or struct field) the call's
+// result is bound to: `x := r.CounterVec(...)`, `s.f = r.CounterVec(...)`,
+// or a `field: r.CounterVec(...)` composite-literal entry.
+func assignTarget(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	for _, file := range pass.Pkg.Files {
+		if !(file.FileStart <= call.Pos() && call.Pos() < file.FileEnd) {
+			continue
+		}
+		var found types.Object
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if rhs == call && i < len(n.Lhs) {
+						switch lhs := n.Lhs[i].(type) {
+						case *ast.Ident:
+							found = resolve(pass, lhs)
+						case *ast.SelectorExpr:
+							found = pass.Pkg.Info.Uses[lhs.Sel]
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if n.Value == call {
+					if key, ok := n.Key.(*ast.Ident); ok {
+						found = pass.Pkg.Info.Uses[key]
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return nil
+}
+
+// checkWithArity flags With calls whose argument count differs from
+// the declared label count of the vec they are called on.
+func checkWithArity(pass *analysis.Pass, n ast.Node, arity map[types.Object]int) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" || call.Ellipsis.IsValid() {
+		return
+	}
+	var recvObj types.Object
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		recvObj = resolve(pass, x)
+	case *ast.SelectorExpr:
+		recvObj = pass.Pkg.Info.Uses[x.Sel]
+	}
+	if recvObj == nil {
+		return
+	}
+	want, tracked := arity[recvObj]
+	if !tracked {
+		return
+	}
+	if len(call.Args) != want {
+		pass.Reportf(call.Pos(),
+			"With called with %d label value(s) but %s was declared with %d label(s): mismatched arity misattributes every sample of this series",
+			len(call.Args), recvObj.Name(), want)
+	}
+}
+
+// checkStartParamClock flags time.Now() inside functions that already
+// receive a start time.Time parameter.
+func checkStartParamClock(pass *analysis.Pass, fd *ast.FuncDecl) {
+	start := startParam(pass, fd)
+	if start == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Deferred/spawned closures legitimately re-read the clock
+			// (e.g. measuring their own later execution).
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "time" {
+			return true
+		}
+		if _, ok := pass.Pkg.LineDirective(call.Pos(), "obs-exempt"); ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"time.Now inside a span that already receives a start time (%s): measure from the caller's start or the span silently shrinks", start.Name())
+		return true
+	})
+}
+
+// startParam returns the parameter of type time.Time whose name marks
+// it as a span start (start, began, since, t0), if any.
+func startParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	names := map[string]bool{"start": true, "began": true, "since": true, "t0": true, "startedAt": true}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if !names[id.Name] {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok &&
+				named.Obj().Name() == "Time" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func resolve(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Pkg.Info.Uses[id]
+}

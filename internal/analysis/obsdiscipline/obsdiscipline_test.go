@@ -1,0 +1,12 @@
+package obsdiscipline_test
+
+import (
+	"testing"
+
+	"tensat/internal/analysis/analysistest"
+	"tensat/internal/analysis/obsdiscipline"
+)
+
+func TestObsdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", obsdiscipline.Analyzer)
+}

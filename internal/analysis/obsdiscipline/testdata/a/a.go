@@ -1,0 +1,64 @@
+// Package a is the obsdiscipline analyzer fixture: registration sites,
+// Vec.With arities, and span-timed clock reads.
+package a
+
+import (
+	"time"
+
+	"obstest/obs"
+)
+
+type metrics struct {
+	requests *obs.CounterVec
+	hits     *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		requests: r.CounterVec("requests_total", "requests by ruleset and cost model", "ruleset", "cost_model"),
+		hits:     r.Counter("cache_hits_total", "cache hits"),
+	}
+}
+
+// extraMetrics is a designated constructor by annotation.
+//
+//lint:metrics-init
+func extraMetrics(r *obs.Registry) *obs.CounterVec {
+	return r.CounterVec("extra_total", "extra", "kind")
+}
+
+func handle(m *metrics, r *obs.Registry) {
+	r.Counter("oops_total", "registered per request") // want `metric registered outside a metrics constructor`
+	m.requests.With("algebra").Inc()                  // want `With called with 1 label value\(s\) but requests was declared with 2 label\(s\)`
+	m.requests.With("algebra", "t4").Inc()
+	m.hits.Inc()
+}
+
+func record(start time.Time, h *obs.Histogram) {
+	h.Observe(time.Since(start).Seconds())
+	h.Observe(time.Since(time.Now()).Seconds()) // want `time\.Now inside a span that already receives a start time`
+}
+
+func recordExempt(start time.Time, h *obs.Histogram) {
+	_ = start
+	h.Observe(float64(time.Now().UnixNano())) //lint:obs-exempt wall-clock stamp, not a span duration
+}
+
+// recordDeferred closes over start; the closure may legitimately
+// re-read the clock later.
+func recordDeferred(start time.Time, h *obs.Histogram) func() {
+	return func() {
+		h.Observe(time.Since(start).Seconds())
+		_ = time.Now()
+	}
+}
+
+func init() {
+	_ = newMetrics(&obs.Registry{})
+	_ = extraMetrics(&obs.Registry{})
+	h := &obs.Histogram{}
+	record(time.Now(), h)
+	recordExempt(time.Now(), h)
+	recordDeferred(time.Now(), h)()
+	handle(newMetrics(&obs.Registry{}), &obs.Registry{})
+}

@@ -1,0 +1,3 @@
+module obstest
+
+go 1.24

@@ -1,0 +1,33 @@
+// Package obs is a miniature metrics library fixture. It defines a
+// Registry with registrar methods, so the analyzer must skip this
+// package entirely (the library itself builds instruments freely).
+package obs
+
+type Registry struct{ names []string }
+
+type Counter struct{ n float64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type CounterVec struct{ labels int }
+
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(x float64) {}
+
+func (r *Registry) Counter(name, help string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	r.names = append(r.names, name)
+	return &CounterVec{labels: len(labels)}
+}
+
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.names = append(r.names, name)
+	return &Histogram{}
+}

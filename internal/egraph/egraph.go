@@ -196,7 +196,10 @@ func (g *EGraph) Rebuild() {
 }
 
 // repair re-canonicalizes the parents of a merged class, unioning any
-// parent nodes that have become congruent.
+// parent nodes that have become congruent. Rebuild passes id through
+// uf.find before every call.
+//
+//lint:canonical id
 func (g *EGraph) repair(id ClassID) {
 	cls, ok := g.classes[id]
 	if !ok {
@@ -296,6 +299,7 @@ func (g *EGraph) Classes(f func(*Class)) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
+		//lint:canonical ids holds the keys of g.classes collected just above; class-table keys are canonical by construction
 		f(g.classes[id])
 	}
 }

@@ -114,10 +114,10 @@ func TestDirtySinceUpwardClosure(t *testing.T) {
 	a := g.Add(Node{Op: 1, Str: "a"})
 	b := g.Add(Node{Op: 1, Str: "b"})
 	c := g.Add(Node{Op: 1, Str: "c"})
-	add := g.Add(NewNode(2, a, b))  // add(a,b)
-	mul := g.Add(NewNode(3, c, a))  // mul(c,a): parent of c — dirty once c ~ add
-	top := g.Add(NewNode(4, mul))   // relu(mul): grandparent, distance 2
-	side := g.Add(NewNode(4, add))  // relu(add): parent of add — also dirty
+	add := g.Add(NewNode(2, a, b)) // add(a,b)
+	mul := g.Add(NewNode(3, c, a)) // mul(c,a): parent of c — dirty once c ~ add
+	top := g.Add(NewNode(4, mul))  // relu(mul): grandparent, distance 2
+	side := g.Add(NewNode(4, add)) // relu(add): parent of add — also dirty
 	other := g.Add(Node{Op: 1, Str: "z"})
 	lone := g.Add(NewNode(5, other)) // unrelated: must stay clean
 

@@ -22,6 +22,12 @@ import "sort"
 // call and is invalidated by any subsequent mutation (Add, Union,
 // Rebuild). Using a stale view is a logic error; Stale reports whether
 // the underlying e-graph has changed since the freeze.
+//
+// The //lint:frozen annotation makes tensatlint's frozenview analyzer
+// reject any View method that writes view-owned state or reaches a
+// mutating EGraph method (g.Find included — path compression writes).
+//
+//lint:frozen
 type View struct {
 	g       *EGraph
 	version uint64

@@ -302,6 +302,7 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 	toWarm := func(picks map[egraph.ClassID]int) []int {
 		ws := make([]int, len(classIDs))
 		for ci, id := range classIDs {
+			//lint:canonical classIDs enumerates the canonical class table (built from g.Classes above)
 			k := picks[id]
 			if k < 0 {
 				ws[ci] = -1

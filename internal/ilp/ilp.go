@@ -126,6 +126,8 @@ var ErrInfeasible = errors.New("ilp: infeasible extraction problem")
 var ErrTimeout = errors.New("ilp: timeout before first feasible solution")
 
 // Validate checks index consistency.
+//
+//lint:ctxflow-exempt single bounded pass over in-memory index arrays; the only calls are error formatting
 func (p *Problem) Validate() error {
 	n, m := len(p.Costs), len(p.Classes)
 	if len(p.ClassOf) != n || len(p.Children) != n {

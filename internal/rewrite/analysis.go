@@ -19,6 +19,8 @@ type ShapeAnalysis struct{}
 // Make infers the meta of a freshly added node from its children's
 // metas. Nodes are only added after shape checking, so inference is
 // expected to succeed; a nil result marks an invalid class defensively.
+//
+//lint:ctxflow-exempt loop is bounded by the node's arity (at most a handful of children)
 func (ShapeAnalysis) Make(g *egraph.EGraph, n egraph.Node) any {
 	args := make([]*tensor.Meta, len(n.Children))
 	for i, c := range n.Children {

@@ -37,6 +37,8 @@ type sourceRef struct {
 // CompileRules canonicalizes and compiles a rule set. Patterns that
 // differ only by variable naming share one canonical program, so the
 // per-iteration search runs once per canonical form.
+//
+//lint:ctxflow-exempt one pass over the rule list at load time, bounded by rule-set size
 func CompileRules(rules []*Rule) *CompiledRules {
 	cr := &CompiledRules{Rules: rules, refs: make(map[*Rule][]sourceRef, len(rules))}
 	index := make(map[string]int)

@@ -105,6 +105,7 @@ func findCycles(g *egraph.EGraph, filtered FilterSet) [][]cycleEdge {
 
 	var dfs func(id egraph.ClassID, depth int)
 	dfs = func(id egraph.ClassID, depth int) {
+		id = g.Find(id)
 		state[id] = 1
 		pos[id] = depth
 		cls := g.Class(id)
@@ -167,17 +168,24 @@ func resolveCycles(filtered FilterSet, cycles [][]cycleEdge) int {
 // FilterCycles runs the post-processing loop of Algorithm 2 (lines
 // 10-18) until the e-graph is acyclic modulo the filter set. It
 // returns the number of nodes newly filtered.
-func FilterCycles(g *egraph.EGraph, filtered FilterSet) int {
+//
+// Each detect-and-resolve round walks the whole class graph, and large
+// e-graphs can need many rounds, so the loop checks done between
+// rounds and stops early when it fires — the graph may then still be
+// cyclic, and the caller must run a final uncancelable pass (done ==
+// nil) before relying on acyclicity.
+func FilterCycles(g *egraph.EGraph, filtered FilterSet, done <-chan struct{}) int {
 	total := 0
-	for {
+	for !stopped(done) {
 		cycles := findCycles(g, filtered)
 		if len(cycles) == 0 {
-			return total
+			break
 		}
 		// findCycles only walks unfiltered edges, so the first cycle in
 		// the list is never already broken: progress is guaranteed.
 		total += resolveCycles(filtered, cycles)
 	}
+	return total
 }
 
 // IsAcyclic reports whether the class graph is acyclic through

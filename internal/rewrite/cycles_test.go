@@ -39,7 +39,7 @@ func TestFindCyclesDetectsFigure3(t *testing.T) {
 func TestFilterCyclesBreaksAllCycles(t *testing.T) {
 	g, _, _ := cyclicEGraph(t)
 	filtered := FilterSet{}
-	n := FilterCycles(g, filtered)
+	n := FilterCycles(g, filtered, nil)
 	if n == 0 {
 		t.Fatal("nothing filtered")
 	}
@@ -48,10 +48,34 @@ func TestFilterCyclesBreaksAllCycles(t *testing.T) {
 	}
 }
 
+// TestFilterCyclesHonorsDone is the regression test for the ctxflow
+// finding on FilterCycles: the detect-and-resolve loop used to accept
+// no cancellation input at all. A pre-fired done channel must stop it
+// before the first round (returning 0 with the graph still cyclic),
+// and a nil done must run it to completion.
+func TestFilterCyclesHonorsDone(t *testing.T) {
+	g, _, _ := cyclicEGraph(t)
+	filtered := FilterSet{}
+	done := make(chan struct{})
+	close(done)
+	if n := FilterCycles(g, filtered, done); n != 0 {
+		t.Fatalf("canceled FilterCycles filtered %d nodes, want 0", n)
+	}
+	if IsAcyclic(g, filtered) {
+		t.Fatal("canceled FilterCycles should leave the cycle in place")
+	}
+	if n := FilterCycles(g, filtered, nil); n == 0 {
+		t.Fatal("uncancelable pass filtered nothing")
+	}
+	if !IsAcyclic(g, filtered) {
+		t.Fatal("still cyclic after uncancelable FilterCycles")
+	}
+}
+
 func TestFilterCyclesRemovesLastAddedNode(t *testing.T) {
 	g, a, b := cyclicEGraph(t)
 	filtered := FilterSet{}
-	FilterCycles(g, filtered)
+	FilterCycles(g, filtered, nil)
 	// The cycle consists of sigmoid(B) in A (earlier) and sigmoid(A) in
 	// B (later). Algorithm 2 filters the most recently added node.
 	var maxStamp int64
@@ -83,7 +107,7 @@ func TestIsAcyclicOnAcyclicGraph(t *testing.T) {
 func TestDescendantsSkipFilteredNodes(t *testing.T) {
 	g, a, b := cyclicEGraph(t)
 	filtered := FilterSet{}
-	FilterCycles(g, filtered)
+	FilterCycles(g, filtered, nil)
 	desc := computeDescendants(g, filtered)
 	// After filtering, at most one of A-reaches-B / B-reaches-A remains.
 	ab := desc[g.Find(a)] != nil && desc[g.Find(a)].Has(g.Find(b))

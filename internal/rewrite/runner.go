@@ -244,9 +244,11 @@ func (r *Runner) explore(ex *Explored, done <-chan struct{}) {
 		}
 	}
 
-	// Guarantee the acyclic invariant before extraction.
+	// Guarantee the acyclic invariant before extraction. This final
+	// pass is deliberately uncancelable (nil done): extraction relies
+	// on acyclicity even when exploration was cut short.
 	if r.Filter != FilterNone {
-		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered)
+		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered, nil)
 	}
 	ex.Stats.ENodes = g.NodeCount()
 	ex.Stats.EClasses = g.ClassCount()
@@ -414,7 +416,7 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 	g.Rebuild()
 
 	if r.Filter != FilterNone {
-		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered)
+		ex.Stats.FilteredNodes += FilterCycles(g, ex.Filtered, done)
 	}
 	ex.Stats.RebuildTime += time.Since(rebuildStart)
 	r.Trace.End()

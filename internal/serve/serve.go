@@ -163,6 +163,13 @@ func isZeroOptions(o tensat.Options) bool {
 // RequestOptions are the per-request optimization knobs. The zero
 // value inherits every setting from the service's Config.Base. Field
 // names double as the HTTP JSON schema of POST /optimize.
+//
+// Every exported field must be folded into the effective
+// tensat.Options by apply — that is how request knobs reach the cache
+// key — or carry a //lint:cachekey-exempt justification. tensatlint's
+// cachekey analyzer enforces this; see cmd/tensatlint.
+//
+//lint:cachekey keyfunc=tensat/internal/serve.RequestOptions.apply
 type RequestOptions struct {
 	// RuleSet names the rewrite rule set to optimize with (e.g.
 	// "taso-default", "taso-single", or a profile loaded from a .rules

@@ -11,6 +11,7 @@ import (
 
 	"tensat/internal/cost"
 	"tensat/internal/rewrite"
+	"tensat/internal/rulecheck"
 	"tensat/internal/rules"
 )
 
@@ -37,6 +38,24 @@ const (
 // entry answers to; transports classify it as a client error.
 var ErrUnknownProfile = errors.New("tensat: unknown profile")
 
+// RuleVetMode selects what rule-set loading does with findings from
+// the static rule verifier (internal/rulecheck). Error-severity
+// findings (shape-unsound rewrites) always fail the load — except
+// under RuleVetOff — because applying such a rule silently corrupts
+// tensor shapes; the mode only decides the fate of warnings.
+type RuleVetMode int
+
+const (
+	// RuleVetWarn (the default) records warning-severity findings in
+	// RuleSetInfo.VetWarnings for the caller to surface, and loads the
+	// set anyway.
+	RuleVetWarn RuleVetMode = iota
+	// RuleVetStrict fails the load on any finding, warnings included.
+	RuleVetStrict
+	// RuleVetOff skips verification entirely.
+	RuleVetOff
+)
+
 // RuleSetInfo describes one registered rule set.
 type RuleSetInfo struct {
 	// Name is the registry key, selectable as Options.RuleSet.
@@ -50,6 +69,14 @@ type RuleSetInfo struct {
 	Rules, MultiRules int
 	// Source records provenance: "builtin", a file path, or "code".
 	Source string
+	// VetWarnings holds warning-severity findings from the static rule
+	// verifier (internal/rulecheck) recorded when the set was loaded
+	// from a file: rules that can never fire, dead targets, or target
+	// operators the default cost model prices at +Inf (so extraction
+	// could never choose them). Empty for builtin/programmatic sets and
+	// under RuleVetOff; under RuleVetStrict warnings fail the load
+	// instead of landing here.
+	VetWarnings []string
 }
 
 // CostModelInfo describes one registered cost model.
@@ -96,6 +123,7 @@ type Registry struct {
 	mu         sync.RWMutex
 	ruleSets   map[string]*ruleSetEntry
 	costModels map[string]*costModelEntry
+	vetMode    RuleVetMode
 }
 
 // NewRegistry returns a registry holding the built-in profiles. The
@@ -128,6 +156,10 @@ var defaultRegistry = sync.OnceValue(NewRegistry)
 func DefaultRegistry() *Registry { return defaultRegistry() }
 
 func (r *Registry) putRuleSet(name string, rs []*Rule, source string) {
+	r.putRuleSetVetted(name, rs, source, nil)
+}
+
+func (r *Registry) putRuleSetVetted(name string, rs []*Rule, source string, vetWarnings []string) {
 	multi := 0
 	for _, rule := range rs {
 		if rule.IsMulti() {
@@ -139,14 +171,57 @@ func (r *Registry) putRuleSet(name string, rs []*Rule, source string) {
 		rules:    rs,
 		compiled: rewrite.CompileRules(rs),
 		info: RuleSetInfo{
-			Name:       name,
-			Hash:       rules.Hash(rs),
-			Rules:      len(rs),
-			MultiRules: multi,
-			Source:     source,
+			Name:        name,
+			Hash:        rules.Hash(rs),
+			Rules:       len(rs),
+			MultiRules:  multi,
+			Source:      source,
+			VetWarnings: vetWarnings,
 		},
 	}
 	r.mu.Unlock()
+}
+
+// SetRuleVetMode selects how subsequent LoadRuleFile/LoadRulesDir
+// calls treat static-verifier findings. Safe for concurrent use.
+func (r *Registry) SetRuleVetMode(m RuleVetMode) {
+	r.mu.Lock()
+	r.vetMode = m
+	r.mu.Unlock()
+}
+
+// vetRuleFile runs the static rule verifier over a parsed rule file,
+// pricing targets against the default cost model. It returns the
+// warning strings to record, or an error when the findings must fail
+// the load (any error-severity finding; under RuleVetStrict, any
+// finding at all).
+func (r *Registry) vetRuleFile(path string, rs []*Rule) ([]string, error) {
+	r.mu.RLock()
+	mode := r.vetMode
+	r.mu.RUnlock()
+	if mode == RuleVetOff {
+		return nil, nil
+	}
+	model, ok := r.CostModel(DefaultCostModelName)
+	if !ok {
+		model = cost.NewT4()
+	}
+	findings := rulecheck.CheckRules(path, rs, model)
+	if len(findings) == 0 {
+		return nil, nil
+	}
+	var warns []string
+	fatal := false
+	for _, f := range findings {
+		if f.Severity == rulecheck.SevError || mode == RuleVetStrict {
+			fatal = true
+		}
+		warns = append(warns, f.String())
+	}
+	if fatal {
+		return nil, fmt.Errorf("tensat: rule vet failed for %s:\n  %s", path, strings.Join(warns, "\n  "))
+	}
+	return warns, nil
 }
 
 func (r *Registry) putCostModel(name string, m CostModel, hash string, params int, source string) {
@@ -239,15 +314,20 @@ func parseRuleFile(path string) (name string, rs []*Rule, err error) {
 }
 
 // LoadRuleFile loads a .rules file and registers it under the file's
-// base name (merge.rules -> "merge"). The whole file is compiled and
-// validated before anything is registered: on any error the registry
-// is unchanged.
+// base name (merge.rules -> "merge"). The whole file is compiled,
+// validated and statically vetted (see RuleVetMode) before anything
+// is registered: on any error the registry is unchanged. Non-fatal
+// verifier findings land in the returned RuleSetInfo.VetWarnings.
 func (r *Registry) LoadRuleFile(path string) (RuleSetInfo, error) {
 	name, rs, err := parseRuleFile(path)
 	if err != nil {
 		return RuleSetInfo{}, err
 	}
-	r.putRuleSet(name, rs, path)
+	warns, err := r.vetRuleFile(path, rs)
+	if err != nil {
+		return RuleSetInfo{}, err
+	}
+	r.putRuleSetVetted(name, rs, path, warns)
 	info, _ := r.RuleSetInfo(name)
 	return info, nil
 }
@@ -264,6 +344,7 @@ func (r *Registry) LoadRulesDir(dir string) ([]RuleSetInfo, error) {
 	type staged struct {
 		name, path string
 		rs         []*Rule
+		warns      []string
 	}
 	stage := make([]staged, 0, len(paths))
 	for _, p := range paths {
@@ -271,11 +352,15 @@ func (r *Registry) LoadRulesDir(dir string) ([]RuleSetInfo, error) {
 		if err != nil {
 			return nil, err
 		}
-		stage = append(stage, staged{name: name, path: p, rs: rs})
+		warns, err := r.vetRuleFile(p, rs)
+		if err != nil {
+			return nil, err
+		}
+		stage = append(stage, staged{name: name, path: p, rs: rs, warns: warns})
 	}
 	infos := make([]RuleSetInfo, 0, len(stage))
 	for _, s := range stage {
-		r.putRuleSet(s.name, s.rs, s.path)
+		r.putRuleSetVetted(s.name, s.rs, s.path, s.warns)
 		info, _ := r.RuleSetInfo(s.name)
 		infos = append(infos, info)
 	}

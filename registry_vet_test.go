@@ -1,0 +1,108 @@
+package tensat
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRules(t *testing.T, name, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A shape-unsound rule must be rejected at load time regardless of
+// vet mode (except RuleVetOff): transpose changes the shape, so the
+// target cannot equal the source.
+func TestLoadRuleFileRejectsShapeUnsound(t *testing.T) {
+	path := writeRules(t, "bad.rules", "droppose: (transpose ?x \"1 0\") => ?x\n")
+
+	r := NewRegistry()
+	if _, err := r.LoadRuleFile(path); err == nil {
+		t.Fatal("shape-unsound rule file loaded without error")
+	} else if !strings.Contains(err.Error(), "shape-unsound") {
+		t.Fatalf("error should carry the finding class: %v", err)
+	}
+	if _, ok := r.RuleSet("bad"); ok {
+		t.Fatal("registry registered a rejected rule set")
+	}
+
+	// RuleVetOff is the escape hatch: the same file loads.
+	r.SetRuleVetMode(RuleVetOff)
+	if _, err := r.LoadRuleFile(path); err != nil {
+		t.Fatalf("RuleVetOff should skip vetting: %v", err)
+	}
+}
+
+// A rule whose variable is used with conflicting kinds can never fire;
+// the default mode records the warning and loads the set anyway, the
+// strict mode fails the load.
+func TestLoadRuleFileVetWarnings(t *testing.T) {
+	path := writeRules(t, "warn.rules", "never: (ewadd (relu ?x) (split0 ?x)) => (relu ?x)\n")
+
+	r := NewRegistry()
+	info, err := r.LoadRuleFile(path)
+	if err != nil {
+		t.Fatalf("warn mode must load anyway: %v", err)
+	}
+	if len(info.VetWarnings) != 1 || !strings.Contains(info.VetWarnings[0], "no-witness") {
+		t.Fatalf("VetWarnings = %v, want one no-witness finding", info.VetWarnings)
+	}
+	// The recorded info is queryable after the fact, too.
+	got, ok := r.RuleSetInfo("warn")
+	if !ok || len(got.VetWarnings) != 1 {
+		t.Fatalf("RuleSetInfo(warn) = %+v, %v", got, ok)
+	}
+
+	strict := NewRegistry()
+	strict.SetRuleVetMode(RuleVetStrict)
+	if _, err := strict.LoadRuleFile(path); err == nil {
+		t.Fatal("strict mode must fail the load on warnings")
+	}
+	if _, ok := strict.RuleSet("warn"); ok {
+		t.Fatal("strict registry registered a rejected rule set")
+	}
+}
+
+// LoadRulesDir stays atomic with vetting in the pipeline: one unsound
+// file leaves the whole directory unloaded.
+func TestLoadRulesDirVetAtomic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "aaa.rules"),
+		[]byte("ok: (ewadd ?x ?y) => (ewadd ?y ?x)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zzz.rules"),
+		[]byte("droppose: (transpose ?x \"1 0\") => ?x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry()
+	if _, err := r.LoadRulesDir(dir); err == nil {
+		t.Fatal("directory with an unsound file loaded without error")
+	}
+	if _, ok := r.RuleSet("aaa"); ok {
+		t.Fatal("atomicity broken: the sound sibling was registered")
+	}
+}
+
+// The shipped profile directory must load warning-free under the
+// default (vetting) mode — the end-to-end guarantee vet-rules checks
+// in CI.
+func TestLoadShippedProfilesVetClean(t *testing.T) {
+	r := NewRegistry()
+	infos, err := r.LoadRulesDir(filepath.Join("profiles", "rules"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if len(info.VetWarnings) != 0 {
+			t.Errorf("%s: unexpected vet warnings: %v", info.Name, info.VetWarnings)
+		}
+	}
+}

@@ -178,6 +178,13 @@ const (
 )
 
 // Options configure Optimize. Zero values take the paper's defaults.
+//
+// Every exported field participates in serving-cache identity — it
+// must be read by one of the key functions named below — unless it is
+// explicitly exempted as pure observability. tensatlint's cachekey
+// analyzer enforces this; see cmd/tensatlint.
+//
+//lint:cachekey keyfunc=tensat/internal/serve.optionsKey keyfunc=tensat/internal/serve.Service.resolveProfile
 type Options struct {
 	// Rules is the rewrite rule set; nil means DefaultRules.
 	Rules []*Rule
@@ -225,12 +232,16 @@ type Options struct {
 	// snapshot. It is called serially from the job's goroutine, must
 	// return quickly, and takes no part in option identity (a serving
 	// cache must not key on it).
+	//
+	//lint:cachekey-exempt pure observability: snapshots never alter the result
 	Progress func(Progress)
 	// Trace, when true, records a structured phase-span trace of the
 	// run — explore iterations with search/apply/rebuild children and
 	// e-node/e-class deltas, extraction with ILP model/solve spans and
 	// incumbent events — returned as Result.Trace. Like Progress it is
 	// pure observability and takes no part in option identity.
+	//
+	//lint:cachekey-exempt pure observability: the trace rides along, the graph is identical
 	Trace bool
 }
 
