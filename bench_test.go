@@ -11,6 +11,7 @@
 package tensat_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -19,8 +20,12 @@ import (
 	"testing"
 	"time"
 
+	"tensat/internal/cost"
 	"tensat/internal/egraph"
 	"tensat/internal/exp"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/ilp/presolve"
 	"tensat/internal/obs"
 	"tensat/internal/pattern"
 	"tensat/internal/rewrite"
@@ -61,6 +66,43 @@ var obsBench = struct {
 	OverheadPercent float64 `json:"overhead_percent"`
 }{Benchmark: "nasrnn-explore-telemetry-overhead"}
 
+// ilpBenchWorkers is the parallel worker count of the ILP benchmark
+// pair (the acceptance point of the solver parallelization).
+const ilpBenchWorkers = 4
+
+// ilpBench accumulates the ILP extraction numbers: the anytime profile
+// (time to first incumbent, time to the optimality proof) sequential vs
+// parallel on a proof-hard instance, the optimality gap a budgeted
+// solve returns at its deadline, and how much presolve shrinks a real
+// explored e-graph model. TestMain writes the summary to BENCH_ilp.json
+// so CI can track solver performance over time and gate the parallel
+// solver against regressions.
+var ilpBench = struct {
+	Benchmark  string `json:"benchmark"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Anytime profile on the proof-hard instance, milliseconds.
+	SeqFirstIncumbentMS float64 `json:"seq_first_incumbent_ms"`
+	SeqOptimalMS        float64 `json:"seq_time_to_optimal_ms"`
+	ParFirstIncumbentMS float64 `json:"par_first_incumbent_ms"`
+	ParOptimalMS        float64 `json:"par_time_to_optimal_ms"`
+	// Speedup is sequential over parallel time-to-optimal; the CI gate
+	// keys on it (meaningful only with GOMAXPROCS >= workers).
+	Speedup float64 `json:"speedup"`
+	// SeqCost and ParCost are the returned objectives; the solvers must
+	// agree exactly.
+	SeqCost float64 `json:"seq_cost"`
+	ParCost float64 `json:"par_cost"`
+	// GapAtBudgetPercent is (incumbent-optimal)/optimal at an
+	// artificially tight budget on a deceptive sharing instance.
+	GapAtBudgetPercent float64 `json:"gap_at_budget_percent"`
+	// PresolveRatio is the fraction of candidate nodes presolve removes
+	// from the real NasRNN explored-e-graph model; PresolveNsOp is the
+	// presolve pass runtime on that model.
+	PresolveRatio float64 `json:"presolve_reduction_ratio"`
+	PresolveNsOp  float64 `json:"presolve_ns_per_op"`
+}{Benchmark: "ilp-extraction-seq-vs-parallel", Workers: ilpBenchWorkers}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	dirty := false
@@ -83,6 +125,13 @@ func TestMain(m *testing.M) {
 		// inside the benchmark; just persist the summary.
 		if data, err := json.MarshalIndent(obsBench, "", "  "); err == nil {
 			_ = os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644)
+		}
+	}
+	if ilpBench.SeqOptimalMS > 0 && ilpBench.ParOptimalMS > 0 {
+		ilpBench.Speedup = ilpBench.SeqOptimalMS / ilpBench.ParOptimalMS
+		ilpBench.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		if data, err := json.MarshalIndent(ilpBench, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_ilp.json", append(data, '\n'), 0o644)
 		}
 	}
 	os.Exit(code)
@@ -198,6 +247,216 @@ func BenchmarkSearchSequential(b *testing.B) {
 // fanned out over a frozen e-graph view on 4 workers.
 func BenchmarkSearchParallel(b *testing.B) {
 	searchBench.ParallelSearchNsOp = exploreSearchNs(b, searchBenchWorkers)
+}
+
+// ilpEscapeRing builds the proof-hard anytime ILP instance: the root
+// needs class 1, which offers a cost-100 escape leaf next to an m-class
+// ring of "+1 hop"/"+2 hop" nodes that is infeasible under cycle
+// constraints but only refutable by exhaustive search. The warm start
+// (root + leaf, cost 101) is already optimal; the measured quantity is
+// the optimality proof — the branch-and-bound refuting the entire ring.
+// That makes it the adversarial case for time-to-optimal: no luck, no
+// early exit, pure search throughput.
+func ilpEscapeRing(m int) *ilp.Problem {
+	p := &ilp.Problem{Root: 0, CycleConstraints: true}
+	p.Costs = append(p.Costs, 1)
+	p.ClassOf = append(p.ClassOf, 0)
+	p.Children = append(p.Children, []int{1})
+	p.Classes = append(p.Classes, []int{0})
+	for i := 0; i < m; i++ {
+		hop1 := 1 + (i+1)%m
+		hop2 := 1 + (i+2)%m
+		a := len(p.Costs)
+		p.Costs = append(p.Costs, 1, 1)
+		p.ClassOf = append(p.ClassOf, 1+i, 1+i)
+		p.Children = append(p.Children, []int{hop1}, []int{hop2})
+		p.Classes = append(p.Classes, []int{a, a + 1})
+	}
+	leaf := len(p.Costs)
+	p.Costs = append(p.Costs, 100)
+	p.ClassOf = append(p.ClassOf, 1)
+	p.Children = append(p.Children, nil)
+	p.Classes[1] = append(p.Classes[1], leaf)
+	return p
+}
+
+// ilpBenchRing sizes the proof-hard ring so one optimality proof takes
+// on the order of tens of milliseconds on a laptop core — long enough
+// to parallelize, short enough for the bench suite.
+const ilpBenchRing = 17
+
+// ilpSolveBench measures the anytime profile of one solver
+// configuration on the proof-hard instance: median time to the first
+// incumbent and median time to the optimality proof.
+func ilpSolveBench(b *testing.B, workers int) (firstMS, optimalMS, cost float64) {
+	b.Helper()
+	firsts := make([]float64, 0, b.N)
+	optimals := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ilpEscapeRing(ilpBenchRing)
+		var sol *ilp.Solution
+		var err error
+		if workers == 1 {
+			sol, err = ilp.Solve(p)
+		} else {
+			sol, err = ilp.SolveParallel(p, workers)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Optimal {
+			b.Fatalf("bench instance not solved to optimality: %+v", sol)
+		}
+		cost = sol.Cost
+		firsts = append(firsts, float64(sol.FirstIncumbent.Nanoseconds())/1e6)
+		optimals = append(optimals, float64(sol.Time.Nanoseconds())/1e6)
+	}
+	b.StopTimer()
+	median := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		return xs[len(xs)/2]
+	}
+	firstMS, optimalMS = median(firsts), median(optimals)
+	b.ReportMetric(firstMS, "first-incumbent-ms")
+	b.ReportMetric(optimalMS, "time-to-optimal-ms")
+	return firstMS, optimalMS, cost
+}
+
+// BenchmarkILPSequential measures the single-threaded branch-and-bound
+// on the proof-hard instance.
+func BenchmarkILPSequential(b *testing.B) {
+	ilpBench.SeqFirstIncumbentMS, ilpBench.SeqOptimalMS, ilpBench.SeqCost = ilpSolveBench(b, 1)
+}
+
+// BenchmarkILPParallel measures the same proof fanned over the worker
+// pool with a shared incumbent bound.
+func BenchmarkILPParallel(b *testing.B) {
+	ilpBench.ParFirstIncumbentMS, ilpBench.ParOptimalMS, ilpBench.ParCost = ilpSolveBench(b, ilpBenchWorkers)
+}
+
+// ilpDualHub builds the anytime-trajectory instance: the root needs
+// classes D_1..D_k, each choosing between a leaf (cost 3) and a node
+// u_i (cost 2) that needs BOTH shared hub classes S1 and S2 (cost 4
+// each). The greedy warm start prices u_i as a tree (2+4+4 > 3) and
+// picks every leaf (1+3k); the DAG optimum pays both hubs once
+// (1+2k+8). Unlike a single hub, the pair defeats the seeding local
+// search's hub moves — amortizing one hub at a time never shows a
+// gain, because every switch still pays the other hub per-switch — so
+// closing the gap takes genuine branch-and-bound, one incumbent at a
+// time. CycleConstraints (the graph is acyclic, so they bind nothing)
+// disable the solver's forced-choice shortcut that would otherwise
+// collapse the plateau.
+func ilpDualHub(k int) *ilp.Problem {
+	p := &ilp.Problem{Root: 0, CycleConstraints: true}
+	rootKids := make([]int, k)
+	for i := range rootKids {
+		rootKids[i] = i + 1
+	}
+	p.Costs = append(p.Costs, 1)
+	p.ClassOf = append(p.ClassOf, 0)
+	p.Children = append(p.Children, rootKids)
+	p.Classes = append(p.Classes, []int{0})
+	s1, s2 := k+1, k+2
+	for i := 1; i <= k; i++ {
+		u := len(p.Costs)
+		p.Costs = append(p.Costs, 2, 3)
+		p.ClassOf = append(p.ClassOf, i, i)
+		p.Children = append(p.Children, []int{s1, s2}, nil)
+		p.Classes = append(p.Classes, []int{u, u + 1})
+	}
+	for j := 0; j < 2; j++ {
+		s := len(p.Costs)
+		p.Costs = append(p.Costs, 4)
+		p.ClassOf = append(p.ClassOf, k+1+j)
+		p.Children = append(p.Children, nil)
+		p.Classes = append(p.Classes, []int{s})
+	}
+	return p
+}
+
+// BenchmarkILPGapAtBudget measures the anytime answer quality when the
+// solver is cut off early: the relative cost excess of the incumbent
+// returned under a deterministic exploration budget (a stall limit in
+// node expansions, so the measurement is machine-independent) against
+// the unbudgeted optimum on the dual-hub instance. The budget is sized
+// below the search's first incumbent improvement, so the budgeted
+// answer is the deceived warm start and the gap is the full price of
+// stopping early; a smarter seeding pass or faster search ordering
+// shows up here as the gap shrinking toward zero.
+func BenchmarkILPGapAtBudget(b *testing.B) {
+	const k = 24
+	ref, err := ilp.Solve(ilpDualHub(k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !ref.Optimal || ref.Cost != float64(1+2*k+8) {
+		b.Fatalf("reference solve did not reach the known optimum: %+v", ref)
+	}
+	var gapSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ilpDualHub(k)
+		p.StallLimit = 50
+		sol, err := ilp.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gapSum += (sol.Cost - ref.Cost) / ref.Cost * 100
+	}
+	b.StopTimer()
+	ilpBench.GapAtBudgetPercent = gapSum / float64(b.N)
+	b.ReportMetric(ilpBench.GapAtBudgetPercent, "gap-at-budget-%")
+}
+
+// ilpModelBench lazily builds a real extraction ILP: the NasRNN e-graph
+// explored to benchmark size, formulated by extract.BuildProblem.
+var ilpModelBench struct {
+	once sync.Once
+	err  error
+	p    *ilp.Problem
+}
+
+func ilpModelFixture(b *testing.B) *ilp.Problem {
+	b.Helper()
+	ilpModelBench.once.Do(func() {
+		g := nasrnnGraph(b)
+		r := rewrite.NewRunner(rules.Default())
+		r.Limits = rewrite.Limits{MaxNodes: 8000, MaxIters: 6, KMulti: 1, Timeout: time.Hour}
+		r.Workers = 1
+		ex, err := r.Run(g)
+		if err != nil {
+			ilpModelBench.err = err
+			return
+		}
+		ilpModelBench.p, _, ilpModelBench.err = extract.BuildProblem(ex, cost.NewT4(), extract.ILPOptions{})
+	})
+	if ilpModelBench.err != nil {
+		b.Fatal(ilpModelBench.err)
+	}
+	return ilpModelBench.p
+}
+
+// BenchmarkILPPresolve measures the presolve pass on the real NasRNN
+// extraction model and records how much of the model it removes.
+func BenchmarkILPPresolve(b *testing.B) {
+	p := ilpModelFixture(b)
+	var red presolve.Reduction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, red, err = presolve.Run(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if red.NodesDropped == 0 && red.VarsFixed == 0 {
+		b.Fatal("presolve removed nothing from the real model; fixture broken")
+	}
+	ilpBench.PresolveRatio = red.Ratio()
+	ilpBench.PresolveNsOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(ilpBench.PresolveRatio*100, "reduction-%")
 }
 
 // matcherBench lazily builds the matcher benchmark fixture: a nasrnn

@@ -41,7 +41,11 @@ import (
 	"time"
 
 	"tensat"
+	"tensat/internal/extract"
+	"tensat/internal/ilp"
+	"tensat/internal/ilp/lpfile"
 	"tensat/internal/models"
+	"tensat/internal/rewrite"
 	"tensat/internal/tensor"
 )
 
@@ -67,6 +71,8 @@ func main() {
 		nodeLimit = flag.Int("nodelimit", 20000, "e-graph node limit (N_max)")
 		iters     = flag.Int("iters", 15, "exploration iteration limit (k_max)")
 		ilpTime   = flag.Duration("ilptimeout", 2*time.Minute, "ILP solver timeout")
+		ilpSolver = flag.String("ilp-solver", "", "ILP backend: builtin (parallel branch-and-bound), builtin-seq, cbc or highs (external binaries on PATH)")
+		ilpMPS    = flag.String("ilp-mps", "", "explore, then write the extraction ILP as a free-format MPS file and exit without solving")
 		workers   = flag.Int("workers", 0, "parallel e-matching goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "print live progress lines (iterations, e-graph growth, ILP incumbents) to stderr")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
@@ -121,6 +127,7 @@ func main() {
 	opt.NodeLimit = *nodeLimit
 	opt.IterLimit = *iters
 	opt.ILPTimeout = *ilpTime
+	opt.ILPSolver = *ilpSolver
 	opt.Workers = *workers
 	opt.RuleSet = *ruleset
 	opt.CostModelName = *costmodel
@@ -145,6 +152,15 @@ func main() {
 	// of killing the process mid-pipeline.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *ilpMPS != "" {
+		if err := exportMPS(ctx, g, opt, registry, *ilpMPS); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote extraction ILP for %s to %s\n", name, *ilpMPS)
+		return
+	}
+
 	job, err := tensat.NewOptimizer().Submit(ctx, g, opt)
 	if err != nil {
 		log.Fatal(err)
@@ -162,6 +178,11 @@ func main() {
 		res.ExploreTime.Round(time.Millisecond), res.Iterations, res.ENodes, res.EClasses, res.Saturated)
 	fmt.Printf("extraction:       %v  (filtered e-nodes: %d, ILP optimal: %v)\n",
 		res.ExtractTime.Round(time.Millisecond), res.FilteredNodes, res.ILPOptimal)
+	if res.ILP.Solver != "" {
+		fmt.Printf("ilp:              solver=%s workers=%d incumbents=%d  presolve: fixed=%d dropped=%d (%.0f%% of candidates)\n",
+			res.ILP.Solver, res.ILP.Workers, res.ILP.Incumbents,
+			res.ILP.PresolveFixed, res.ILP.PresolveDropped, res.ILP.PresolveRatio*100)
+	}
 
 	if err := res.Graph.Validate(); err != nil {
 		log.Fatalf("optimized graph failed validation: %v", err)
@@ -196,6 +217,69 @@ func main() {
 		}
 		fmt.Printf("saved trace to %s (open in Perfetto)\n", *traceOut)
 	}
+}
+
+// exportMPS runs the exploration phase only, formulates the extraction
+// ILP over the resulting e-graph, and writes it as a free-format MPS
+// file any MIP solver can read — the model that -extractor ilp would
+// have solved, made portable for offline experiments.
+func exportMPS(ctx context.Context, g *tensat.Graph, opt tensat.Options, registry *tensat.Registry, path string) error {
+	rs := tensat.DefaultRules()
+	if opt.RuleSet != "" {
+		named, ok := registry.RuleSet(opt.RuleSet)
+		if !ok {
+			return fmt.Errorf("unknown ruleset %q", opt.RuleSet)
+		}
+		rs = named
+	}
+	model := tensat.DefaultCostModel()
+	if opt.CostModelName != "" {
+		named, ok := registry.CostModel(opt.CostModelName)
+		if !ok {
+			return fmt.Errorf("unknown costmodel %q", opt.CostModelName)
+		}
+		model = named
+	}
+	runner := rewrite.NewRunner(rs)
+	runner.Limits = rewrite.Limits{
+		MaxNodes: opt.NodeLimit,
+		MaxIters: opt.IterLimit,
+		KMulti:   opt.KMulti,
+		Timeout:  opt.ExploreTimeout,
+	}
+	runner.Workers = opt.Workers
+	switch opt.CycleFilter {
+	case tensat.FilterVanilla:
+		runner.Filter = rewrite.FilterVanilla
+	case tensat.FilterNone:
+		runner.Filter = rewrite.FilterNone
+	default:
+		runner.Filter = rewrite.FilterEfficient
+	}
+	ex, err := runner.RunContext(ctx, g)
+	if err != nil {
+		return err
+	}
+	topo := ilp.TopoReal
+	if opt.TopoInt {
+		topo = ilp.TopoInt
+	}
+	p, _, err := extract.BuildProblem(ex, model, extract.ILPOptions{
+		CycleConstraints: opt.CycleFilter == tensat.FilterNone,
+		TopoMode:         topo,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lpfile.WriteMPS(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printProgress renders one live progress line per pipeline event.

@@ -60,10 +60,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tensat"
+	"tensat/internal/ilp/backend"
 	"tensat/internal/rulecheck"
 	"tensat/internal/serve"
 )
@@ -80,6 +82,7 @@ func main() {
 		iters         = flag.Int("iters", 15, "default exploration iteration limit (k_max)")
 		kmulti        = flag.Int("kmulti", 1, "default multi-pattern iterations (k_multi)")
 		ilpTime       = flag.Duration("ilptimeout", 2*time.Minute, "default ILP solver timeout")
+		ilpSolver     = flag.String("ilp-solver", "", "default ILP backend: builtin (parallel branch-and-bound), builtin-seq, cbc or highs (external binaries on PATH); requests override per-job with ilp_solver")
 		rulesDir      = flag.String("rules-dir", "", "load every *.rules file in this directory as a named rule set profile")
 		deviceDir     = flag.String("device-dir", "", "load every *.json device spec in this directory as a named cost model profile")
 		strictRules   = flag.Bool("strict-rules", false, "fail startup on any static rule-verifier finding in -rules-dir, warnings included (shape-unsound rules always fail)")
@@ -114,6 +117,9 @@ func main() {
 	}
 	if *searchWorkers < 0 {
 		fatal("-search-workers must be >= 0", "got", *searchWorkers)
+	}
+	if !backend.Valid(*ilpSolver) {
+		fatal("-ilp-solver unknown", "got", *ilpSolver, "known", strings.Join(backend.Names(), ", "))
 	}
 
 	// -vet-only turns the daemon into a config checker: run the static
@@ -175,6 +181,7 @@ func main() {
 	base.KMulti = *kmulti
 	base.ILPTimeout = *ilpTime
 	base.Workers = *searchWorkers
+	base.ILPSolver = *ilpSolver
 
 	svc := serve.New(serve.Config{
 		Workers:      *workers,

@@ -1,8 +1,9 @@
 // Package ctxflow implements the tensatlint analyzer enforcing
 // cancellation discipline in the long-running layers: exported
-// functions of the rewrite, extract, ilp and serve packages that loop
-// or block must accept a context.Context (or an equivalent done
-// channel) and actually consult it. Equality saturation and ILP
+// functions of the rewrite, extract, ilp (with its presolve, backend
+// and lpfile subpackages) and serve packages that loop or block must
+// accept a context.Context (or an equivalent done channel) and
+// actually consult it. Equality saturation and ILP
 // extraction run for minutes; an exported entry point that loops
 // without a cancellation path strands callers behind Ctrl-C and HTTP
 // disconnects — the unpropagated-cancellation bug class PR 2 fixed by
@@ -28,10 +29,13 @@ var Analyzer = &analysis.Analyzer{
 // scopedPackages are the package base names the invariant applies to:
 // the layers whose entry points can run unboundedly long.
 var scopedPackages = map[string]bool{
-	"rewrite": true,
-	"extract": true,
-	"ilp":     true,
-	"serve":   true,
+	"rewrite":  true,
+	"extract":  true,
+	"ilp":      true,
+	"serve":    true,
+	"presolve": true,
+	"backend":  true,
+	"lpfile":   true,
 }
 
 func run(pass *analysis.Pass) error {

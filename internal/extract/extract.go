@@ -14,6 +14,8 @@ import (
 	"tensat/internal/cost"
 	"tensat/internal/egraph"
 	"tensat/internal/ilp"
+	"tensat/internal/ilp/backend"
+	"tensat/internal/ilp/presolve"
 	"tensat/internal/obs"
 	"tensat/internal/rewrite"
 	"tensat/internal/tensor"
@@ -29,6 +31,12 @@ type Result struct {
 	Time time.Duration
 	// ILP carries solver details for ILP extraction (nil for greedy).
 	ILP *ilp.Solution
+	// Solver names the ILP backend that produced the solution
+	// ("builtin", "builtin-seq", "cbc", "highs"; empty for greedy).
+	Solver string
+	// Reduction reports what the presolve pass removed from the ILP
+	// model before solving (nil for greedy).
+	Reduction *presolve.Reduction
 }
 
 // nodeCost prices one e-node using the analysis metas of its children.
@@ -185,6 +193,15 @@ type ILPOptions struct {
 	// StallLimit stops branch-and-bound after this many expansions
 	// without improvement (0 uses DefaultStallLimit; negative disables).
 	StallLimit int64
+	// Solver selects the ILP backend by name: "" or "builtin" for the
+	// parallel in-process branch-and-bound, "builtin-seq" for the
+	// sequential one, "cbc"/"highs" for an external MPS solver on PATH.
+	Solver string
+	// Workers bounds the parallel builtin solver's goroutines
+	// (0 = automatic; ignored by other backends).
+	Workers int
+	// NoPresolve skips the model-reduction pass (diagnostics only).
+	NoPresolve bool
 	// OnIncumbent, when non-nil, receives every improvement of the
 	// solver's incumbent — the cost of the best extraction found so
 	// far — from the solving goroutine. Long ILP runs use it to report
@@ -210,27 +227,42 @@ func ILP(ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, erro
 	return ILPContext(context.Background(), ex, model, opts)
 }
 
-// ILPContext is ILP with cancellation: the branch-and-bound treats a
-// done context like an expired deadline (best incumbent, or ErrTimeout
-// with none), so a canceled request stops promptly.
-func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, error) {
-	start := time.Now()
-	g := ex.G
-	tr := opts.Trace
-	tr.Begin("ilp")
-	defer tr.End()
+// ProblemIndex ties an exported ilp.Problem back to the e-graph it
+// was built from: problem class ci is ClassIDs[ci], and problem node
+// (variable) vi is the e-node Node(vi).
+type ProblemIndex struct {
+	ClassIDs []egraph.ClassID
+	classIdx map[egraph.ClassID]int
+	nodes    []egraph.Node
+}
 
+// ClassIndex returns the problem's class index for an e-class.
+func (ix *ProblemIndex) ClassIndex(g *egraph.EGraph, id egraph.ClassID) int {
+	return ix.classIdx[g.Find(id)]
+}
+
+// Node returns the e-node behind problem variable vi.
+func (ix *ProblemIndex) Node(vi int) egraph.Node { return ix.nodes[vi] }
+
+// BuildProblem formulates the extraction ILP of §5.1 for an explored
+// e-graph — costs from the model, one binary per e-node, filtered
+// nodes forbidden, warm starts from the greedy extraction and the
+// original input graph — without solving it. Exposed so callers can
+// dump the model (lpfile), benchmark solvers against real instances,
+// or hand it to an external process.
+//
+//lint:ctxflow-exempt bounded passes over the in-memory e-graph; no solving, no I/O
+func BuildProblem(ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*ilp.Problem, *ProblemIndex, error) {
+	g := ex.G
 	if !opts.CycleConstraints && !rewrite.IsAcyclic(g, ex.Filtered) {
-		return nil, fmt.Errorf("extract: e-graph has cycles; ILP without cycle constraints requires cycle filtering")
+		return nil, nil, fmt.Errorf("extract: e-graph has cycles; ILP without cycle constraints requires cycle filtering")
 	}
-	tr.Begin("model")
 
 	// Index classes and nodes.
-	classIdx := make(map[egraph.ClassID]int)
-	var classIDs []egraph.ClassID
+	ix := &ProblemIndex{classIdx: make(map[egraph.ClassID]int)}
 	g.Classes(func(c *egraph.Class) {
-		classIdx[c.ID] = len(classIDs)
-		classIDs = append(classIDs, c.ID)
+		ix.classIdx[c.ID] = len(ix.ClassIDs)
+		ix.ClassIDs = append(ix.ClassIDs, c.ID)
 	})
 	stall := opts.StallLimit
 	if stall == 0 {
@@ -239,36 +271,23 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 		stall = 0
 	}
 	p := &ilp.Problem{
-		Root:             classIdx[g.Find(ex.Root)],
-		Classes:          make([][]int, len(classIDs)),
+		Root:             ix.classIdx[g.Find(ex.Root)],
+		Classes:          make([][]int, len(ix.ClassIDs)),
 		CycleConstraints: opts.CycleConstraints,
 		TopoMode:         opts.TopoMode,
 		Timeout:          opts.Timeout,
 		StallLimit:       stall,
 	}
-	if opts.OnIncumbent != nil || tr != nil {
-		p.OnIncumbent = func(cost float64, _ int64) {
-			tr.Event("incumbent", cost)
-			if opts.OnIncumbent != nil {
-				opts.OnIncumbent(cost)
-			}
-		}
-	}
-	type ref struct {
-		class egraph.ClassID
-		node  egraph.Node
-	}
-	var refs []ref
-	for ci, id := range classIDs {
+	for ci, id := range ix.ClassIDs {
 		cls := g.Class(id)
 		for i, n := range cls.Nodes {
-			vi := len(refs)
-			refs = append(refs, ref{class: id, node: n})
+			vi := len(ix.nodes)
+			ix.nodes = append(ix.nodes, n)
 			p.Costs = append(p.Costs, nodeCost(g, model, n))
 			p.ClassOf = append(p.ClassOf, ci)
 			children := make([]int, len(n.Children))
 			for k, ch := range n.Children {
-				children[k] = classIdx[g.Find(ch)]
+				children[k] = ix.classIdx[g.Find(ch)]
 			}
 			p.Children = append(p.Children, children)
 			p.Classes[ci] = append(p.Classes[ci], vi)
@@ -293,16 +312,16 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 	// input graph (nodes whose insertion stamps predate exploration),
 	// so the ILP result is never worse than either, however early the
 	// search is cut off.
-	offset := make([]int, len(classIDs))
+	offset := make([]int, len(ix.ClassIDs))
 	vi := 0
-	for ci, id := range classIDs {
+	for ci, id := range ix.ClassIDs {
 		offset[ci] = vi
 		vi += len(g.Class(id).Nodes)
 	}
 	toWarm := func(picks map[egraph.ClassID]int) []int {
-		ws := make([]int, len(classIDs))
-		for ci, id := range classIDs {
-			//lint:canonical classIDs enumerates the canonical class table (built from g.Classes above)
+		ws := make([]int, len(ix.ClassIDs))
+		for ci, id := range ix.ClassIDs {
+			//lint:canonical ClassIDs enumerates the canonical class table (built from g.Classes above)
 			k := picks[id]
 			if k < 0 {
 				ws[ci] = -1
@@ -316,18 +335,66 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 	if orig := originalSelect(ex); orig != nil {
 		p.WarmStarts = append(p.WarmStarts, toWarm(orig))
 	}
-	tr.Attr("classes", int64(len(classIDs)))
+	return p, ix, nil
+}
+
+// ILPContext is ILP with cancellation: the branch-and-bound treats a
+// done context like an expired deadline (best incumbent with
+// Optimal=false); a cancellation that lands before any incumbent
+// exists surfaces as the context's own error.
+func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opts ILPOptions) (*Result, error) {
+	start := time.Now()
+	g := ex.G
+	tr := opts.Trace
+	tr.Begin("ilp")
+	defer tr.End()
+
+	tr.Begin("model")
+	p, ix, err := BuildProblem(ex, model, opts)
+	if err != nil {
+		tr.End()
+		return nil, err
+	}
+	if opts.OnIncumbent != nil || tr != nil {
+		p.OnIncumbent = func(cost float64, _ int64) {
+			tr.Event("incumbent", cost)
+			if opts.OnIncumbent != nil {
+				opts.OnIncumbent(cost)
+			}
+		}
+	}
+	tr.Attr("classes", int64(len(ix.ClassIDs)))
 	tr.Attr("variables", int64(len(p.Costs)))
 	tr.End() // model
 
+	var red *presolve.Reduction
+	if !opts.NoPresolve {
+		tr.Begin("presolve")
+		q, r, perr := presolve.Run(ctx, p)
+		if perr != nil {
+			tr.End()
+			return nil, fmt.Errorf("extract: ilp: presolve: %w", perr)
+		}
+		tr.Attr("vars_fixed", int64(r.VarsFixed))
+		tr.Attr("nodes_dropped", int64(r.NodesDropped))
+		tr.Attr("constraints_removed", int64(r.ConstraintsRemoved))
+		tr.End() // presolve
+		p, red = q, &r
+	}
+
+	solver, err := backend.Select(opts.Solver, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("extract: ilp: %w", err)
+	}
 	tr.Begin("solve")
-	sol, err := ilp.SolveContext(ctx, p)
+	sol, err := solver.Solve(ctx, p)
 	if err != nil {
 		tr.End()
 		return nil, fmt.Errorf("extract: ilp: %w", err)
 	}
 	tr.Attr("explored", sol.Explored)
 	tr.Attr("incumbents", int64(sol.Incumbents))
+	tr.Attr("workers", int64(sol.Workers))
 	if sol.Optimal {
 		tr.Attr("optimal", 1)
 	} else {
@@ -335,21 +402,23 @@ func ILPContext(ctx context.Context, ex *rewrite.Explored, model cost.Model, opt
 	}
 	tr.End() // solve
 	sel := func(id egraph.ClassID) (egraph.Node, bool) {
-		vi, ok := sol.NodeOf[classIdx[g.Find(id)]]
+		vi, ok := sol.NodeOf[ix.classIdx[g.Find(id)]]
 		if !ok {
 			return egraph.Node{}, false
 		}
-		return refs[vi].node, true
+		return ix.nodes[vi], true
 	}
 	graph, err := buildGraph(g, g.Find(ex.Root), sel)
 	if err != nil {
 		return nil, fmt.Errorf("extract: ilp: %w", err)
 	}
 	return &Result{
-		Graph: graph,
-		Cost:  cost.GraphCost(model, graph),
-		Time:  time.Since(start),
-		ILP:   sol,
+		Graph:     graph,
+		Cost:      cost.GraphCost(model, graph),
+		Time:      time.Since(start),
+		ILP:       sol,
+		Solver:    solver.Name(),
+		Reduction: red,
 	}, nil
 }
 

@@ -20,6 +20,13 @@
 // TopoReal (the continuous t_m encoding) or explicit integer level
 // labels when TopoInt — which is exactly what makes the constrained
 // program much slower to solve, reproducing Table 5.
+//
+// Two solving modes share that machinery: SolveContext runs the
+// classic sequential search, and SolveParallelContext (parallel.go)
+// fans disjoint branch subtrees over a bounded worker pool with a
+// shared atomic incumbent bound. Model reduction before any solve
+// lives in the presolve subpackage, standard-format export in lpfile,
+// and external-solver adapters in backend.
 package ilp
 
 import (
@@ -80,12 +87,23 @@ type Problem struct {
 	// becomes the starting incumbent, so the solution is never worse
 	// than any warm start.
 	WarmStarts [][]int
-	// OnIncumbent, when non-nil, is called from the solving goroutine
-	// each time the incumbent improves: once after warm-start seeding
-	// and again on every improvement branch-and-bound finds. It
-	// receives the incumbent cost and the expansions done so far, and
-	// must return quickly (it runs on the search's hot path).
+	// OnIncumbent, when non-nil, is called each time the incumbent
+	// improves: once after warm-start seeding and again on every
+	// improvement branch-and-bound finds. It receives the incumbent
+	// cost and the expansions done so far, and must return quickly (it
+	// runs on the search's hot path). Sequential solves call it from
+	// the solving goroutine; the parallel solver serializes calls under
+	// its incumbent lock, with strictly decreasing costs either way.
 	OnIncumbent func(cost float64, explored int64)
+}
+
+// Clone returns a shallow-sharing copy of the problem: the slice
+// headers are fresh (so Forbidden and the option fields can be
+// replaced) but the per-node arrays are shared. Presolve uses it to
+// return a reduced model without mutating the caller's.
+func (p *Problem) Clone() *Problem {
+	q := *p
+	return &q
 }
 
 // Solution is the solver's answer.
@@ -103,7 +121,8 @@ type Solution struct {
 	Canceled bool
 	// Stalled is true when StallLimit ended the search.
 	Stalled bool
-	// Explored counts branch-and-bound node expansions.
+	// Explored counts branch-and-bound node expansions (summed over
+	// workers for parallel solves).
 	Explored int64
 	Time     time.Duration
 	// SeedCost is the greedy warm-start cost; ImproveCommits counts
@@ -116,13 +135,17 @@ type Solution struct {
 	// first one landed.
 	Incumbents     int
 	FirstIncumbent time.Duration
+	// Workers is how many goroutines searched (1 for sequential).
+	Workers int
 }
 
 // ErrInfeasible is returned when no acyclic selection exists.
 var ErrInfeasible = errors.New("ilp: infeasible extraction problem")
 
-// ErrTimeout is returned when the deadline passed before any feasible
-// solution was found.
+// ErrTimeout is returned when the deadline or stall limit passed
+// before any feasible solution was found. Caller cancellation without
+// an incumbent surfaces as the context's own error instead, so callers
+// never have to reverse-map ErrTimeout onto a dead context.
 var ErrTimeout = errors.New("ilp: timeout before first feasible solution")
 
 // Validate checks index consistency.
@@ -135,6 +158,9 @@ func (p *Problem) Validate() error {
 	}
 	if p.Root < 0 || p.Root >= m {
 		return fmt.Errorf("ilp: root class %d out of range", p.Root)
+	}
+	if p.Forbidden != nil && len(p.Forbidden) != n {
+		return fmt.Errorf("ilp: forbidden mask has %d entries for %d nodes", len(p.Forbidden), n)
 	}
 	for i, c := range p.ClassOf {
 		if c < 0 || c >= m {
@@ -178,6 +204,12 @@ type solver struct {
 	incumbents     int
 	firstIncumbent time.Duration
 
+	// shared, when non-nil, makes this solver one worker of a parallel
+	// solve: incumbents are offered to (and the pruning bound refreshed
+	// from) the shared state instead of the local best/bestPick pair.
+	shared  *parallelShared
+	unitIdx int
+
 	// levels for TopoInt acyclicity maintenance
 	level []int
 
@@ -199,12 +231,11 @@ func Solve(p *Problem) (*Solution, error) {
 	return SolveContext(context.Background(), p)
 }
 
-// SolveContext is Solve with cancellation: when ctx is done the search
-// stops at the next check point and the incumbent (if any) is returned
-// with Canceled set, exactly like a timeout; with no incumbent it
-// returns ErrTimeout.
-func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
-	start := time.Now()
+// prepare validates the problem and builds a solver with every
+// precomputed read-only table (allowed nodes, class minima, greedy
+// ordering costs, free picks) plus empty search state. Shared by the
+// sequential and parallel entry points.
+func prepare(ctx context.Context, p *Problem, start time.Time) (*solver, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -252,19 +283,28 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	if p.CycleConstraints && p.TopoMode == TopoInt {
 		s.level = make([]int, m)
 	}
-	// Seed with the internal greedy plus any caller warm starts; refine
-	// each with the sharing-aware local search and keep the best.
+	return s, nil
+}
+
+// seed installs the best of the internal greedy and the caller warm
+// starts (each refined by the sharing-aware local search) as the
+// initial incumbent, and returns the best unrefined warm-start cost.
+// It does NOT invoke OnIncumbent — the entry points do, after wiring
+// their incumbent plumbing.
+func (s *solver) seed() (seedCost float64) {
+	p := s.p
 	s.seedIncumbent()
 	starts := [][]int{}
 	if s.bestPick != nil {
 		starts = append(starts, s.bestPick)
 	}
+	m := len(p.Classes)
 	for _, ws := range p.WarmStarts {
 		if len(ws) == m {
 			starts = append(starts, append([]int(nil), ws...))
 		}
 	}
-	seedCost := math.Inf(1)
+	seedCost = math.Inf(1)
 	s.best, s.bestPick = math.Inf(1), nil
 	for _, st := range starts {
 		cost, ok := s.selectionCost(st)
@@ -279,6 +319,20 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 			s.best, s.bestPick = impCost, imp
 		}
 	}
+	return seedCost
+}
+
+// SolveContext is Solve with cancellation: when ctx is done the search
+// stops at the next check point and the incumbent (if any) is returned
+// with Canceled set, exactly like a timeout; with no incumbent it
+// returns ctx.Err() so callers see the cancellation directly.
+func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
+	start := time.Now()
+	s, err := prepare(ctx, p, start)
+	if err != nil {
+		return nil, err
+	}
+	seedCost := s.seed()
 	if s.bestPick != nil {
 		s.recordIncumbent()
 		if p.OnIncumbent != nil {
@@ -300,12 +354,17 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 		ImproveCommits: s.improveCommits,
 		Incumbents:     s.incumbents,
 		FirstIncumbent: s.firstIncumbent,
+		Workers:        1,
 	}
 	if s.bestPick == nil {
-		if s.timedOut || s.stalled {
+		switch {
+		case s.canceled:
+			return nil, ctx.Err()
+		case s.timedOut || s.stalled:
 			return nil, ErrTimeout
+		default:
+			return nil, ErrInfeasible
 		}
-		return nil, ErrInfeasible
 	}
 	sol.Cost = s.best
 	sol.NodeOf = make(map[int]int)
@@ -493,6 +552,44 @@ func (s *solver) computeGreedy() {
 	}
 }
 
+// hasIncumbent reports whether any feasible solution is known — the
+// local one for sequential solves, the shared one for parallel workers.
+func (s *solver) hasIncumbent() bool {
+	if s.shared != nil {
+		return !math.IsInf(s.shared.best(), 1)
+	}
+	return s.bestPick != nil
+}
+
+// pickClass selects the next undecided class from pending following
+// the branching policy: a class with a free pick or a forced choice is
+// returned with its node (assign it directly, no branching); otherwise
+// the undecided class with the fewest candidates (fail-first) is
+// returned with node -1. idx is -1 when every pending class is
+// decided (feasible leaf).
+func (s *solver) pickClass(pending []int) (idx, node int) {
+	idx, node = -1, -1
+	fewest := int(^uint(0) >> 1)
+	for i := len(pending) - 1; i >= 0; i-- {
+		c := pending[i]
+		if s.chosen[c] >= 0 {
+			continue
+		}
+		if f := s.freePick[c]; f >= 0 {
+			return i, f
+		}
+		if !s.p.CycleConstraints {
+			if f := s.forcedChoice(c); f >= 0 {
+				return i, f
+			}
+		}
+		if n := len(s.allowed[c]); n < fewest {
+			fewest, idx = n, i
+		}
+	}
+	return idx, -1
+}
+
 // branch decides the next undecided required class. pending holds the
 // required-but-undecided classes; bound is acc + sum of their minCosts.
 func (s *solver) branch(pending []int, bound float64) {
@@ -512,12 +609,21 @@ func (s *solver) branch(pending []int, bound float64) {
 			return
 		default:
 		}
+		// Parallel workers refresh the pruning bound from the shared
+		// incumbent at the same cadence as the clock checks, so a
+		// sibling's improvement tightens this subtree within 512
+		// expansions without an atomic load on every branch.
+		if s.shared != nil {
+			if b := s.shared.best(); b < s.best {
+				s.best = b
+			}
+		}
 	}
 	// The stall limit applies even before a first incumbent exists
 	// (with a grace factor), so a search that cannot find any feasible
 	// solution still terminates.
 	if s.p.StallLimit > 0 && s.explored-s.lastImprove > s.p.StallLimit {
-		if s.bestPick != nil || s.explored-s.lastImprove > 8*s.p.StallLimit {
+		if s.hasIncumbent() || s.explored-s.lastImprove > 8*s.p.StallLimit {
 			s.stalled = true
 			return
 		}
@@ -534,43 +640,18 @@ func (s *solver) branch(pending []int, bound float64) {
 	// Otherwise branch on the class with the fewest candidates
 	// (fail-first). Forced choices are disabled under cycle
 	// constraints, where an alternative might be the only acyclic one.
-	idx, fewest := -1, int(^uint(0)>>1)
-	for i := len(pending) - 1; i >= 0; i-- {
-		c := pending[i]
-		if s.chosen[c] >= 0 {
-			continue
-		}
-		if f := s.freePick[c]; f >= 0 {
-			rest := removeAt(pending, i)
-			s.assign(c, f, rest, bound-s.minCost[c])
-			return
-		}
-		if !s.p.CycleConstraints {
-			if f := s.forcedChoice(c); f >= 0 {
-				rest := removeAt(pending, i)
-				s.assign(c, f, rest, bound-s.minCost[c])
-				return
-			}
-		}
-		if n := len(s.allowed[c]); n < fewest {
-			fewest, idx = n, i
-		}
-	}
+	idx, forced := s.pickClass(pending)
 	if idx < 0 {
 		// All required classes decided: feasible solution.
-		if s.acc < s.best {
-			s.best = s.acc
-			s.bestPick = append([]int(nil), s.chosen...)
-			s.lastImprove = s.explored
-			s.recordIncumbent()
-			if s.p.OnIncumbent != nil {
-				s.p.OnIncumbent(s.best, s.explored)
-			}
-		}
+		s.foundSolution()
 		return
 	}
 	c := pending[idx]
 	rest := removeAt(pending, idx)
+	if forced >= 0 {
+		s.assign(c, forced, rest, bound-s.minCost[c])
+		return
+	}
 
 	// Order candidates by the greedy heuristic.
 	cands := append([]int(nil), s.allowed[c]...)
@@ -582,6 +663,32 @@ func (s *solver) branch(pending []int, bound float64) {
 		s.assign(c, i, rest, bound-s.minCost[c])
 		if s.timedOut {
 			return
+		}
+	}
+}
+
+// foundSolution records the current complete assignment as an
+// incumbent if it improves (or, under the parallel tie-break, matches)
+// the best known one.
+func (s *solver) foundSolution() {
+	if s.shared != nil {
+		if s.acc < s.best {
+			if s.shared.offer(s.acc, s.chosen, s.unitIdx) {
+				s.lastImprove = s.explored
+			}
+			if b := s.shared.best(); b < s.best {
+				s.best = b
+			}
+		}
+		return
+	}
+	if s.acc < s.best {
+		s.best = s.acc
+		s.bestPick = append([]int(nil), s.chosen...)
+		s.lastImprove = s.explored
+		s.recordIncumbent()
+		if s.p.OnIncumbent != nil {
+			s.p.OnIncumbent(s.best, s.explored)
 		}
 	}
 }
@@ -627,30 +734,46 @@ func (s *solver) nodeHeuristic(i int) float64 {
 	return t
 }
 
+// step is one branch decision: node chosen for class. A sequence of
+// steps from the root is a replayable partial assignment — the unit of
+// work the parallel solver distributes.
+type step struct{ class, node int }
+
+// applyStep mutates the search state for one decision — chosen, acc,
+// child requirement counts — exactly as assign does, and returns the
+// extended pending list and bound. The caller has already removed
+// st.class from pending and subtracted its minCost from bound.
+func (s *solver) applyStep(st step, pending []int, bound float64) ([]int, float64) {
+	s.chosen[st.class] = st.node
+	s.acc += s.p.Costs[st.node]
+	for _, h := range s.p.Children[st.node] {
+		s.need[h]++
+		if s.need[h] == 1 && s.chosen[h] < 0 {
+			pending = append(pending, h)
+			bound += s.minCost[h]
+		}
+	}
+	return pending, bound
+}
+
+// undoStep reverses applyStep (pending/bound are the caller's to drop).
+func (s *solver) undoStep(st step) {
+	for _, h := range s.p.Children[st.node] {
+		s.need[h]--
+	}
+	s.acc -= s.p.Costs[st.node]
+	s.chosen[st.class] = -1
+}
+
 // assign tries x_i = 1 for class c and recurses.
 func (s *solver) assign(c, i int, pending []int, bound float64) {
 	if s.p.CycleConstraints && s.createsCycle(c, i) {
 		return
 	}
-	s.chosen[c] = i
-	s.acc += s.p.Costs[i]
-	added := 0
-	newBound := bound
-	next := pending
-	for _, h := range s.p.Children[i] {
-		s.need[h]++
-		if s.need[h] == 1 && s.chosen[h] < 0 {
-			next = append(next, h)
-			added++
-			newBound += s.minCost[h]
-		}
-	}
+	st := step{c, i}
+	next, newBound := s.applyStep(st, pending, bound)
 	s.branch(next, newBound)
-	for _, h := range s.p.Children[i] {
-		s.need[h]--
-	}
-	s.acc -= s.p.Costs[i]
-	s.chosen[c] = -1
+	s.undoStep(st)
 }
 
 // boundAdjust guards against floating-point equality ties pruning the

@@ -201,6 +201,14 @@ type StatsReply struct {
 	SearchDirtySearched  uint64 `json:"search_dirty_searched"`
 	SearchCleanReused    uint64 `json:"search_clean_reused"`
 	SearchMatches        uint64 `json:"search_matches"`
+	// ILP-extraction counters summed over the same runs: what presolve
+	// removed before solving, incumbent improvements, and completed
+	// solves keyed "<backend>/optimal" or "<backend>/feasible".
+	ILPPresolveFixed   uint64            `json:"ilp_presolve_fixed"`
+	ILPPresolveDropped uint64            `json:"ilp_presolve_dropped"`
+	ILPPresolveRemoved uint64            `json:"ilp_presolve_removed"`
+	ILPIncumbents      uint64            `json:"ilp_incumbents"`
+	ILPSolves          map[string]uint64 `json:"ilp_solves,omitempty"`
 }
 
 // VersionReply is the body answering GET /v1/version.
@@ -343,6 +351,12 @@ func handleStats(s *Service, w http.ResponseWriter) {
 		SearchDirtySearched:  st.Search.DirtySearched,
 		SearchCleanReused:    st.Search.CleanReused,
 		SearchMatches:        st.Search.Matches,
+
+		ILPPresolveFixed:   st.ILP.PresolveFixed,
+		ILPPresolveDropped: st.ILP.PresolveDropped,
+		ILPPresolveRemoved: st.ILP.PresolveRemoved,
+		ILPIncumbents:      st.ILP.Incumbents,
+		ILPSolves:          st.ILP.Solves,
 	})
 }
 

@@ -44,6 +44,12 @@ type metrics struct {
 	searchDirty   *obs.Counter
 	searchClean   *obs.Counter
 	searchMatches *obs.Counter
+
+	ilpPresolveFixed   *obs.Counter
+	ilpPresolveDropped *obs.Counter
+	ilpPresolveRemoved *obs.Counter
+	ilpIncumbents      *obs.Counter
+	ilpSolves          *obs.CounterVec // by solver, outcome
 }
 
 func newMetrics(s *Service) *metrics {
@@ -80,6 +86,12 @@ func newMetrics(s *Service) *metrics {
 		searchDirty:   r.Counter("tensat_search_dirty_researched_total", "Dirty candidate classes re-searched incrementally."),
 		searchClean:   r.Counter("tensat_search_clean_reused_total", "Clean candidate classes answered from the match memo."),
 		searchMatches: r.Counter("tensat_search_matches_total", "Matches produced by the e-matching search phase."),
+
+		ilpPresolveFixed:   r.Counter("tensat_ilp_presolve_fixed_total", "ILP variables fixed into the solution by presolve."),
+		ilpPresolveDropped: r.Counter("tensat_ilp_presolve_dropped_total", "ILP candidate nodes eliminated by presolve."),
+		ilpPresolveRemoved: r.Counter("tensat_ilp_presolve_constraints_removed_total", "Vacuous ILP cycle-constraint rows dropped by presolve."),
+		ilpIncumbents:      r.Counter("tensat_ilp_incumbents_total", "ILP incumbent improvements across completed solves."),
+		ilpSolves:          r.CounterVec("tensat_ilp_solves_total", "Completed ILP solves by backend and outcome (optimal vs. feasible).", "solver", "outcome"),
 	}
 	r.GaugeFunc("tensat_cache_entries", "Current result-cache population.", func() float64 {
 		return float64(s.cache.len())

@@ -256,6 +256,11 @@ func TestMetricsExpositionValid(t *testing.T) {
 		{"tensat_egraph_eclasses", "gauge"},
 		{"tensat_search_classes_scanned_total", "counter"},
 		{"tensat_search_matches_total", "counter"},
+		{"tensat_ilp_presolve_fixed_total", "counter"},
+		{"tensat_ilp_presolve_dropped_total", "counter"},
+		{"tensat_ilp_presolve_constraints_removed_total", "counter"},
+		{"tensat_ilp_incumbents_total", "counter"},
+		{"tensat_ilp_solves_total", "counter"},
 		{"tensat_workers", "gauge"},
 		{"tensat_build_info", "counter"},
 	} {

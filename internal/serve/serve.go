@@ -33,6 +33,7 @@ import (
 
 	"tensat"
 	"tensat/internal/fingerprint"
+	"tensat/internal/ilp/backend"
 	"tensat/internal/obs"
 	"tensat/internal/tensor"
 )
@@ -157,7 +158,7 @@ func isZeroOptions(o tensat.Options) bool {
 		o.IterLimit == 0 && o.KMulti == 0 && o.ExploreTimeout == 0 &&
 		o.ILPTimeout == 0 && o.Extractor == tensat.ExtractILP &&
 		o.CycleFilter == tensat.FilterEfficient && !o.TopoInt &&
-		o.Workers == 0 && o.Progress == nil && !o.Trace
+		o.Workers == 0 && o.ILPSolver == "" && o.Progress == nil && !o.Trace
 }
 
 // RequestOptions are the per-request optimization knobs. The zero
@@ -197,6 +198,12 @@ type RequestOptions struct {
 	// With unlimited time budgets the result does not depend on it,
 	// but under an ExploreTimeout more workers explore further.
 	Workers int `json:"workers,omitempty"`
+	// ILPSolver selects the ILP extraction backend: "builtin" (parallel
+	// branch-and-bound), "builtin-seq", or an external MIP solver on the
+	// server's PATH ("cbc", "highs"). "" inherits; unknown names are
+	// 400s. Distinct backends are distinct cache entries: under a time
+	// budget their anytime answers legitimately differ.
+	ILPSolver string `json:"ilp_solver,omitempty"`
 }
 
 // ErrBadOptions marks RequestOptions validation failures, so transport
@@ -261,6 +268,13 @@ func (ro RequestOptions) apply(base tensat.Options) (tensat.Options, error) {
 	}
 	if ro.Workers > 0 {
 		o.Workers = ro.Workers
+	}
+	if !backend.Valid(ro.ILPSolver) {
+		return o, fmt.Errorf("%w: unknown ilp_solver %q (known: %s)",
+			ErrBadOptions, ro.ILPSolver, strings.Join(backend.Names(), ", "))
+	}
+	if ro.ILPSolver != "" {
+		o.ILPSolver = ro.ILPSolver
 	}
 	return o, nil
 }
@@ -353,6 +367,11 @@ func optionsKey(o tensat.Options) string {
 	b.WriteString(strconv.FormatInt(int64(o.ExploreTimeout), 10))
 	b.WriteByte('|')
 	b.WriteString(strconv.FormatInt(int64(o.ILPTimeout), 10))
+	// The ILP backend joins the key: all backends agree on the optimal
+	// cost, but under a time budget their anytime incumbents (and the
+	// particular optimum among cost ties) legitimately differ.
+	b.WriteByte('|')
+	b.WriteString(o.ILPSolver)
 	return b.String()
 }
 
@@ -494,6 +513,9 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	s.stats.endWork(time.Since(start), err)
 	if err == nil && res != nil {
 		s.stats.searchWork(res.Search)
+		if res.ILP.Solver != "" {
+			s.stats.ilpWork(res.ILP, res.ILPOptimal)
+		}
 		s.metrics.observeRun(res, opts)
 	}
 	// A canceled run is not a complete result: OptimizeContext normally

@@ -112,6 +112,47 @@ func TestEquivalentOptionsShareCacheEntry(t *testing.T) {
 	}
 }
 
+func TestILPSolverRequestOption(t *testing.T) {
+	s := New(Config{Workers: 2})
+	g := testGraph(t, 1)
+	if _, err := s.Optimize(context.Background(), g, RequestOptions{ILPSolver: "scip"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown ilp_solver: err = %v, want ErrBadOptions", err)
+	}
+
+	// Distinct backends are distinct cache keys: under a budget their
+	// anytime answers differ, so they must not share entries.
+	var calls atomic.Int64
+	s.optimize = func(ctx context.Context, g *tensat.Graph, o tensat.Options) (*tensat.Result, error) {
+		calls.Add(1)
+		return stubResult(t), nil
+	}
+	if _, err := s.Optimize(context.Background(), g, RequestOptions{ILPSolver: "builtin"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(context.Background(), g, RequestOptions{ILPSolver: "builtin-seq"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("optimize ran %d times, want 2 (different backends)", n)
+	}
+}
+
+// TestILPStatsCounters runs a real ILP extraction through the service
+// and checks the run's solver/presolve counters land in Stats.
+func TestILPStatsCounters(t *testing.T) {
+	s := New(Config{Workers: 2})
+	if _, err := s.Optimize(context.Background(), testGraph(t, 1), RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ILP.Solves["builtin/optimal"] != 1 {
+		t.Fatalf("ILP solves = %v, want builtin/optimal: 1", st.ILP.Solves)
+	}
+	if st.ILP.Incumbents == 0 {
+		t.Fatal("no incumbents counted for a completed ILP run")
+	}
+}
+
 func TestSingleflightDeduplicatesConcurrentIdenticalRequests(t *testing.T) {
 	s := New(Config{Workers: 4})
 	var calls atomic.Int64

@@ -35,6 +35,9 @@ type Stats struct {
 	// op-index pruning and incremental re-search wins are observable in
 	// the serving layer.
 	Search SearchCounters
+	// ILP aggregates the ILP-extraction counters (presolve reduction,
+	// incumbents, solve outcomes by backend) over the same runs.
+	ILP ILPCounters
 	// P50, P95 and P99 are percentiles over the most recent cold
 	// (uncached) optimization latencies; zero until the first run
 	// completes. LatencyWindow is how many recent latencies the
@@ -54,6 +57,19 @@ type SearchCounters struct {
 	DirtySearched  uint64
 	CleanReused    uint64
 	Matches        uint64
+}
+
+// ILPCounters sums tensat.ILPStats over completed ILP-extraction runs:
+// what presolve removed before solving, how many incumbent improvements
+// the searches produced, and how each backend's solves ended. Solves is
+// keyed "<backend>/optimal" or "<backend>/feasible" (an anytime answer
+// returned at a budget without an optimality proof).
+type ILPCounters struct {
+	PresolveFixed   uint64
+	PresolveDropped uint64
+	PresolveRemoved uint64
+	Incumbents      uint64
+	Solves          map[string]uint64
 }
 
 // latencyWindow is how many recent cold latencies feed the percentiles.
@@ -76,6 +92,7 @@ type collector struct {
 	inFlight  int
 	profiles  map[string]uint64
 	search    SearchCounters
+	ilp       ILPCounters
 	ring      [latencyWindow]time.Duration
 	ringN     int // total latencies ever recorded
 }
@@ -157,6 +174,34 @@ func (c *collector) searchWork(s tensat.SearchStats) {
 	}
 }
 
+// ilpWork folds one completed ILP-extraction run into the service-wide
+// counters: presolve reduction, incumbents, and the solve outcome under
+// its backend label. Like searchWork, it is the single call site behind
+// both the JSON stats and the tensat_ilp_* Prometheus families.
+func (c *collector) ilpWork(st tensat.ILPStats, optimal bool) {
+	outcome := "feasible"
+	if optimal {
+		outcome = "optimal"
+	}
+	c.mu.Lock()
+	c.ilp.PresolveFixed += uint64(st.PresolveFixed)
+	c.ilp.PresolveDropped += uint64(st.PresolveDropped)
+	c.ilp.PresolveRemoved += uint64(st.PresolveRemoved)
+	c.ilp.Incumbents += uint64(st.Incumbents)
+	if c.ilp.Solves == nil {
+		c.ilp.Solves = make(map[string]uint64)
+	}
+	c.ilp.Solves[st.Solver+"/"+outcome]++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.ilpPresolveFixed.Add(uint64(st.PresolveFixed))
+		c.m.ilpPresolveDropped.Add(uint64(st.PresolveDropped))
+		c.m.ilpPresolveRemoved.Add(uint64(st.PresolveRemoved))
+		c.m.ilpIncumbents.Add(uint64(st.Incumbents))
+		c.m.ilpSolves.With(st.Solver, outcome).Inc()
+	}
+}
+
 func (c *collector) endWork(d time.Duration, err error) {
 	c.mu.Lock()
 	c.inFlight--
@@ -201,6 +246,13 @@ func (c *collector) snapshot() Stats {
 		Canceled:  c.canceled,
 		InFlight:  c.inFlight,
 		Search:    c.search,
+		ILP:       c.ilp,
+	}
+	if len(c.ilp.Solves) > 0 {
+		s.ILP.Solves = make(map[string]uint64, len(c.ilp.Solves))
+		for k, v := range c.ilp.Solves {
+			s.ILP.Solves[k] = v
+		}
 	}
 	if len(c.profiles) > 0 {
 		s.Profiles = make(map[string]uint64, len(c.profiles))

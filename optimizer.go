@@ -11,6 +11,7 @@ import (
 	"tensat/internal/cost"
 	"tensat/internal/extract"
 	"tensat/internal/ilp"
+	"tensat/internal/ilp/backend"
 	"tensat/internal/obs"
 	"tensat/internal/rewrite"
 	"tensat/internal/rules"
@@ -188,6 +189,9 @@ func (o *Optimizer) resolve(opt Options) Options {
 	if opt.ILPTimeout == 0 {
 		opt.ILPTimeout = b.ILPTimeout
 	}
+	if opt.ILPSolver == "" {
+		opt.ILPSolver = b.ILPSolver
+	}
 	if !opt.Trace {
 		opt.Trace = b.Trace
 	}
@@ -328,6 +332,10 @@ func (o *Optimizer) Submit(ctx context.Context, g *Graph, opts Options) (*Job, e
 				ErrUnknownProfile, opts.CostModelName, strings.Join(o.reg().CostModelNames(), ", "))
 		}
 	}
+	if !backend.Valid(opts.ILPSolver) {
+		return nil, fmt.Errorf("tensat: unknown ILP solver %q (known: %s)",
+			opts.ILPSolver, strings.Join(backend.Names(), ", "))
+	}
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
 		cancel: cancel,
@@ -445,6 +453,7 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 			CycleConstraints: opt.CycleFilter == FilterNone,
 			TopoMode:         topo,
 			Timeout:          opt.ILPTimeout,
+			Solver:           opt.ILPSolver,
 			Trace:            tr,
 		}
 		if sink != nil {
@@ -462,13 +471,10 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 	}
 	tr.End() // extract
 	if err != nil {
-		// A canceled context can surface from the extractors as a
-		// domain error (e.g. the ILP's ErrTimeout when cancellation
-		// arrives before any incumbent); report the cancellation so
-		// callers don't classify client abandonment as a failure.
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
-		}
+		// Cancellation needs no special-casing here: the ILP solver
+		// surfaces a pre-incumbent cancellation as the context's own
+		// error (wrapped, so errors.Is still classifies it), reserving
+		// ErrTimeout for its deadline and stall budgets.
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -503,6 +509,18 @@ func (o *Optimizer) run(ctx context.Context, g *Graph, opt Options, sink func(Pr
 	}
 	if res.ILP != nil {
 		out.ILPOptimal = res.ILP.Optimal
+		out.ILP = ILPStats{
+			Solver:     res.Solver,
+			Workers:    res.ILP.Workers,
+			Explored:   res.ILP.Explored,
+			Incumbents: res.ILP.Incumbents,
+		}
+		if res.Reduction != nil {
+			out.ILP.PresolveFixed = res.Reduction.VarsFixed
+			out.ILP.PresolveDropped = res.Reduction.NodesDropped
+			out.ILP.PresolveRemoved = res.Reduction.ConstraintsRemoved
+			out.ILP.PresolveRatio = res.Reduction.Ratio()
+		}
 	}
 	out.Trace = tr.Close()
 	return out, nil

@@ -223,6 +223,13 @@ type Options struct {
 	CycleFilter CycleFilter
 	// ILPTimeout bounds the ILP solver (paper: 1 hour).
 	ILPTimeout time.Duration
+	// ILPSolver selects the ILP backend: "" or "builtin" for the
+	// parallel in-process branch-and-bound, "builtin-seq" for the
+	// single-threaded search, "cbc" or "highs" to shell out to an
+	// external MIP solver on PATH via MPS files. Unknown names fail
+	// Submit; external names are accepted even when the binary is
+	// absent (the job then fails with backend.ErrUnavailable).
+	ILPSolver string
 	// TopoInt uses integer topological variables when CycleFilter is
 	// FilterNone (Table 5's "int" column).
 	TopoInt bool
@@ -277,6 +284,30 @@ type SearchStats struct {
 	Matches int
 }
 
+// ILPStats reports what the ILP extraction pipeline did: which backend
+// solved the model, how much presolve shrank it first, and how the
+// search went. Zero-valued for greedy extraction.
+type ILPStats struct {
+	// Solver is the backend that produced the solution ("builtin",
+	// "builtin-seq", "cbc", "highs").
+	Solver string
+	// Workers is the number of search goroutines the builtin parallel
+	// solver used (1 for sequential and external backends).
+	Workers int
+	// Explored counts branch-and-bound nodes expanded (0 for external
+	// backends, which do not report it).
+	Explored int64
+	// Incumbents counts incumbent improvements during the solve.
+	Incumbents int
+	// PresolveFixed, PresolveDropped and PresolveRemoved report the
+	// model reduction: variables fixed into the solution, candidate
+	// nodes eliminated, and cycle-constraint rows dropped as vacuous.
+	PresolveFixed, PresolveDropped, PresolveRemoved int
+	// PresolveRatio is the fraction of candidate nodes presolve
+	// eliminated (0 when presolve was skipped).
+	PresolveRatio float64
+}
+
 // Result reports an optimization run.
 type Result struct {
 	// Graph is the optimized graph.
@@ -313,6 +344,9 @@ type Result struct {
 	FilteredNodes int
 	// ILPOptimal is true when ILP extraction proved optimality.
 	ILPOptimal bool
+	// ILP details the ILP extraction run (backend, presolve reduction,
+	// search counters); zero-valued for greedy extraction.
+	ILP ILPStats
 	// Search breaks down the e-matching search phase (op-index pruning,
 	// incremental re-search, match counts).
 	Search SearchStats
