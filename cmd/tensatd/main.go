@@ -18,6 +18,15 @@
 //	GET    /metrics             — Prometheus text exposition
 //	POST   /optimize            — deprecated synchronous shim
 //	GET    /stats, /healthz     — deprecated pre-/v1 spellings
+//	GET/PUT /v1/peer/cache/{key} — internal node-to-node cache surface
+//
+// Fleet operation: -store-dir persists results on disk so a restarted
+// node keeps its warm set; -peers/-self form a static fleet that
+// routes each cache key to one owning node via consistent hashing;
+// -tenants enables API-key auth with per-tenant rate limits,
+// concurrency quotas and priorities — over-quota low-priority
+// requests degrade to greedy-only extraction before ever being
+// rejected. See the README's "Operating a tensatd fleet" section.
 //
 // Quick start:
 //
@@ -65,9 +74,12 @@ import (
 	"time"
 
 	"tensat"
+	"tensat/internal/cachestore"
+	"tensat/internal/cluster"
 	"tensat/internal/ilp/backend"
 	"tensat/internal/rulecheck"
 	"tensat/internal/serve"
+	"tensat/internal/tenant"
 )
 
 func main() {
@@ -87,6 +99,12 @@ func main() {
 		deviceDir     = flag.String("device-dir", "", "load every *.json device spec in this directory as a named cost model profile")
 		strictRules   = flag.Bool("strict-rules", false, "fail startup on any static rule-verifier finding in -rules-dir, warnings included (shape-unsound rules always fail)")
 		vetOnly       = flag.Bool("vet-only", false, "vet -rules-dir with the static rule verifier and exit without serving (exit 1 on error findings, or any finding with -strict-rules)")
+		cacheBytes    = flag.Int64("cache-max-bytes", 0, "result cache byte bound (encoded size; 0 = unbounded, entry-count bound still applies)")
+		storeDir      = flag.String("store-dir", "", "persist optimization results to this directory so restarts keep their warm set (empty = memory only)")
+		peers         = flag.String("peers", "", "comma-separated host:port fleet membership for the peer cache tier (requires -self)")
+		self          = flag.String("self", "", "this node's own name in -peers (its advertised host:port)")
+		peerTimeout   = flag.Duration("peer-timeout", cluster.DefaultTimeout, "per-request peer cache timeout; a slower peer is treated as a miss")
+		tenantsFile   = flag.String("tenants", "", "JSON tenant registry (API keys, rate limits, concurrency quotas, priorities); empty = no auth, no quotas")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
 		keepAlive     = flag.Duration("sse-keepalive", 15*time.Second, "idle SSE keepalive comment interval (negative = disabled)")
@@ -183,15 +201,68 @@ func main() {
 	base.Workers = *searchWorkers
 	base.ILPSolver = *ilpSolver
 
+	// The persistent store opens before the listener binds: an unusable
+	// -store-dir is a loud startup failure, not a silent memory-only
+	// daemon.
+	var store cachestore.Store
+	if *storeDir != "" {
+		st, err := cachestore.Open(*storeDir)
+		if err != nil {
+			fatal("opening result store", "dir", *storeDir, "error", err)
+		}
+		defer st.Close()
+		store = st
+		logger.Info("result store opened", "dir", *storeDir, "entries", st.Len(), "bytes", st.Bytes())
+	}
+
+	var peerClient *cluster.Client
+	if *peers != "" {
+		if *self == "" {
+			fatal("-peers requires -self (this node's own name in the list)")
+		}
+		var fleet []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				fleet = append(fleet, p)
+			}
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:    *self,
+			Peers:   fleet,
+			Timeout: *peerTimeout,
+		})
+		if err != nil {
+			fatal("configuring peer cache tier", "error", err)
+		}
+		peerClient = cl
+		logger.Info("peer cache tier configured", "self", *self, "fleet", cl.Nodes())
+	} else if *self != "" {
+		fatal("-self without -peers; both are needed for a peer cache tier")
+	}
+
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		reg, err := tenant.Load(*tenantsFile)
+		if err != nil {
+			fatal("loading tenant registry", "file", *tenantsFile, "error", err)
+		}
+		tenants = reg
+		logger.Info("tenant registry loaded", "file", *tenantsFile, "tenants", reg.Names())
+	}
+
 	svc := serve.New(serve.Config{
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		MaxJobs:      *maxJobs,
-		JobTTL:       *jobTTL,
-		Base:         base,
-		Registry:     registry,
-		Logger:       logger,
-		SSEKeepAlive: *keepAlive,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		CacheMaxBytes: *cacheBytes,
+		MaxJobs:       *maxJobs,
+		JobTTL:        *jobTTL,
+		Base:          base,
+		Registry:      registry,
+		Logger:        logger,
+		SSEKeepAlive:  *keepAlive,
+		Store:         store,
+		Cluster:       peerClient,
+		Tenants:       tenants,
 	})
 
 	server := &http.Server{

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Loop-prevention headers on the internal peer surface. Every peer
+// request carries OriginHeader naming the sending node; a receiving
+// node that finds its own name there (a peer list pointing a node at
+// itself, or a proxy bouncing the request back) answers 508 instead of
+// serving. The peer cache endpoints additionally never fan out — they
+// answer strictly from local tiers — so routing loops are impossible
+// by construction; the header catches the misconfiguration early and
+// loudly.
+const (
+	// OriginHeader names the node a peer request originated from.
+	OriginHeader = "X-Tensat-Peer-Origin"
+	// PeerPath is the internal cache surface prefix; the cache key is
+	// the final path element.
+	PeerPath = "/v1/peer/cache/"
+)
+
+// ErrLoop reports a peer request that arrived back at its origin.
+var ErrLoop = errors.New("cluster: peer request looped back to origin")
+
+// ErrNotFound reports a clean peer-side cache miss (HTTP 404).
+var ErrNotFound = errors.New("cluster: peer cache miss")
+
+// DefaultTimeout bounds one peer cache round trip. Peer hits must be
+// much cheaper than recomputing; a slow peer is treated as a miss.
+const DefaultTimeout = 2 * time.Second
+
+// Config assembles a Client.
+type Config struct {
+	// Self is this node's own name in the peer list (e.g. its
+	// advertised host:port). Keys owned by Self are local.
+	Self string
+	// Peers is the full static fleet membership, Self included (it is
+	// added if absent). Order does not matter.
+	Peers []string
+	// VirtualNodes tunes the ring (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// Timeout bounds each peer request (0 = DefaultTimeout).
+	Timeout time.Duration
+	// BaseURL maps a node name to the base URL its HTTP surface is
+	// reachable at; nil means "http://" + node.
+	BaseURL func(node string) string
+	// Transport overrides the HTTP transport (tests); nil means
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// Client fetches and pushes encoded cache records across the fleet.
+// All methods are safe for concurrent use.
+type Client struct {
+	self    string
+	ring    *Ring
+	baseURL func(node string) string
+	http    *http.Client
+}
+
+// New validates cfg and builds a Client. It fails when Self is empty
+// or the fleet has no members besides the implicit Self — a
+// single-node "cluster" should simply not configure one.
+func New(cfg Config) (*Client, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self must name this node")
+	}
+	nodes := append([]string(nil), cfg.Peers...)
+	found := false
+	for _, n := range nodes {
+		if n == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		nodes = append(nodes, cfg.Self)
+	}
+	ring := NewRing(nodes, cfg.VirtualNodes)
+	if len(ring.Nodes()) < 2 {
+		return nil, fmt.Errorf("cluster: need at least one peer besides self, got %v", ring.Nodes())
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	base := cfg.BaseURL
+	if base == nil {
+		base = func(node string) string { return "http://" + node }
+	}
+	return &Client{
+		self:    cfg.Self,
+		ring:    ring,
+		baseURL: base,
+		http: &http.Client{
+			Timeout:   timeout,
+			Transport: cfg.Transport,
+		},
+	}, nil
+}
+
+// Self returns this node's name.
+func (c *Client) Self() string { return c.self }
+
+// Nodes returns the fleet membership, sorted.
+func (c *Client) Nodes() []string { return c.ring.Nodes() }
+
+// Owner returns the node owning key and whether that is this node.
+func (c *Client) Owner(key string) (node string, local bool) {
+	node = c.ring.Owner(key)
+	return node, node == c.self
+}
+
+func (c *Client) keyURL(node, key string) string {
+	return c.baseURL(node) + PeerPath + url.PathEscape(key)
+}
+
+// Fetch asks key's owner for its cached record. It returns ErrNotFound
+// on a clean miss and other errors on transport failures — both of
+// which callers treat as "compute locally". Fetch on a locally-owned
+// key returns ErrNotFound immediately (the local tiers were already
+// consulted).
+func (c *Client) Fetch(ctx context.Context, key string) ([]byte, error) {
+	owner, local := c.Owner(key)
+	if local {
+		return nil, ErrNotFound
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(owner, key), nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set(OriginHeader, c.self)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching %q from %s: %w", key, owner, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Bound the read: a record larger than the store's frame limit
+		// is corrupt by definition.
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: reading record from %s: %w", owner, err)
+		}
+		return payload, nil
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	case http.StatusLoopDetected:
+		return nil, fmt.Errorf("%w (peer %s)", ErrLoop, owner)
+	default:
+		return nil, fmt.Errorf("cluster: peer %s answered %s", owner, resp.Status)
+	}
+}
+
+// Push sends an encoded record to key's owner so the fleet's warm set
+// converges on the responsible node. Pushing a locally-owned key is a
+// no-op (the caller already stored it). Push is best-effort: errors
+// are for counters and logs, never for failing the client request.
+func (c *Client) Push(ctx context.Context, key string, payload []byte) error {
+	owner, local := c.Owner(key)
+	if local {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.keyURL(owner, key), bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set(OriginHeader, c.self)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: pushing %q to %s: %w", key, owner, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s rejected push: %s", owner, resp.Status)
+	}
+	return nil
+}

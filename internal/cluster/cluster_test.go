@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingAgreementAcrossMembers(t *testing.T) {
+	// Every member builds its own ring from the (differently ordered)
+	// peer list; all must assign every key identically.
+	a := NewRing([]string{"n1:80", "n2:80", "n3:80"}, 0)
+	b := NewRing([]string{"n3:80", "n1:80", "n2:80", "n2:80"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("fp-%d", rng.Int63()))]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys — ring badly balanced: %v", node, share*100, counts)
+		}
+	}
+	// Removing one node must only move the removed node's keys.
+	smaller := NewRing([]string{"a", "b", "c"}, 0)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before, after := r.Owner(key), smaller.Owner(key)
+		if before != "d" && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving nodes on member removal", moved)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := NewRing([]string{"solo"}, 0).Owner("k"); got != "solo" {
+		t.Fatalf("single ring owner = %q", got)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"a"}}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []string{"a"}}); err == nil {
+		t.Fatal("single-node cluster accepted")
+	}
+	c, err := New(Config{Self: "a", Peers: []string{"b"}}) // self added implicitly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Nodes(); len(got) != 2 {
+		t.Fatalf("nodes = %v", got)
+	}
+}
+
+// testPeer fakes the owner side of the peer surface.
+func testPeer(t *testing.T, self string, records map[string][]byte) (*httptest.Server, *sync.Map) {
+	t.Helper()
+	var puts sync.Map
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, PeerPath) {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Header.Get(OriginHeader) == self {
+			w.WriteHeader(http.StatusLoopDetected)
+			return
+		}
+		key := strings.TrimPrefix(r.URL.Path, PeerPath)
+		switch r.Method {
+		case http.MethodGet:
+			if rec, ok := records[key]; ok {
+				w.Write(rec)
+				return
+			}
+			w.WriteHeader(http.StatusNotFound)
+		case http.MethodPut:
+			body := make([]byte, r.ContentLength)
+			r.Body.Read(body)
+			puts.Store(key, body)
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &puts
+}
+
+// twoNodeClient builds a client whose single peer is the given test
+// server, with the ring rigged so every key is owned by the peer.
+func twoNodeClient(t *testing.T, peerURL string, timeout time.Duration) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Self:    "self",
+		Peers:   []string{"self", "peer"},
+		Timeout: timeout,
+		BaseURL: func(node string) string { return peerURL },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// remoteKey finds a key owned by "peer" on the self/peer ring.
+func remoteKey(t *testing.T, c *Client) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if owner, local := c.Owner(key); !local && owner == "peer" {
+			return key
+		}
+	}
+	t.Fatal("no peer-owned key found")
+	return ""
+}
+
+func TestClientFetchAndPush(t *testing.T) {
+	c := twoNodeClient(t, "", 0)
+	key := remoteKey(t, c)
+	srv, puts := testPeer(t, "peer", map[string][]byte{key: []byte("record-bytes")})
+	// Rebuild with the live URL now that the server exists.
+	c = twoNodeClient(t, srv.URL, 0)
+
+	got, err := c.Fetch(context.Background(), key)
+	if err != nil || string(got) != "record-bytes" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+	if _, err := c.Fetch(context.Background(), key+"-missing-from-peer"); !errors.Is(err, ErrNotFound) {
+		// Any other peer-owned key misses cleanly.
+		if owner, local := c.Owner(key + "-missing-from-peer"); !local && owner == "peer" {
+			t.Fatalf("miss: err = %v, want ErrNotFound", err)
+		}
+	}
+	if err := c.Push(context.Background(), key, []byte("pushed")); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if v, ok := puts.Load(key); !ok || string(v.([]byte)) != "pushed" {
+		t.Fatalf("push not received: %v %v", v, ok)
+	}
+}
+
+func TestClientLocalKeysShortCircuit(t *testing.T) {
+	c := twoNodeClient(t, "http://invalid.invalid", 0)
+	var local string
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, isLocal := c.Owner(key); isLocal {
+			local = key
+			break
+		}
+	}
+	if local == "" {
+		t.Fatal("no self-owned key found")
+	}
+	// No server exists; a locally-owned key must never hit the network.
+	if _, err := c.Fetch(context.Background(), local); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("local fetch: %v, want ErrNotFound", err)
+	}
+	if err := c.Push(context.Background(), local, []byte("x")); err != nil {
+		t.Fatalf("local push: %v, want nil no-op", err)
+	}
+}
+
+func TestClientLoopDetection(t *testing.T) {
+	// The peer answers 508 when the origin header names itself — the
+	// self-peering misconfiguration.
+	c := twoNodeClient(t, "", 0)
+	key := remoteKey(t, c)
+	srv, _ := testPeer(t, "self", nil) // peer treats "self" as its own name
+	c = twoNodeClient(t, srv.URL, 0)
+	if _, err := c.Fetch(context.Background(), key); !errors.Is(err, ErrLoop) {
+		t.Fatalf("looped fetch: %v, want ErrLoop", err)
+	}
+}
+
+func TestClientTimeoutIsAMiss(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	// LIFO: unblock the stalled handler before Close waits on it.
+	defer srv.Close()
+	defer close(stall)
+	c := twoNodeClient(t, srv.URL, 50*time.Millisecond)
+	key := remoteKey(t, c)
+	start := time.Now()
+	_, err := c.Fetch(context.Background(), key)
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("stalled peer: err = %v, want transport error", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout not enforced: fetch took %v", elapsed)
+	}
+}

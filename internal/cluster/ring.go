@@ -1,0 +1,109 @@
+// Package cluster turns a static list of tensatd nodes into a
+// fleet-wide cache tier. Ownership of content-addressed cache keys is
+// assigned by consistent hashing (a vnode ring), so every node agrees
+// — with no coordination — on which peer is responsible for a key.
+// A node that misses its local tiers asks the owner over the internal
+// /v1/peer/cache surface with a strict timeout; a node that finishes a
+// cold run pushes the encoded result to the owner. Peer failures are
+// always soft: the caller degrades to local compute, never to request
+// failure.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is how many ring points each node contributes.
+// More points smooth the key distribution between nodes; 160 keeps
+// per-node key shares within a few percent of fair for small fleets.
+const DefaultVirtualNodes = 160
+
+// Ring is an immutable consistent-hash ring over node names. Two rings
+// built from the same node set (in any order) assign every key to the
+// same owner, which is what lets each fleet member route independently.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over nodes with vnodes points per node
+// (DefaultVirtualNodes when vnodes <= 0). Node names are deduplicated;
+// order does not matter. An empty node set yields a ring whose Owner
+// returns "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	uniq := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || uniq[n] {
+			continue
+		}
+		uniq[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for _, n := range r.nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", n, i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical vnode hashes across nodes are astronomically rare
+		// but must still order deterministically on every member.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node responsible for key: the first ring point at
+// or after the key's hash, wrapping around. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's member names, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer: FNV alone clusters badly on the
+// short, similar strings ring points are built from ("node#0",
+// "node#1", ...), and clustering turns directly into load skew.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

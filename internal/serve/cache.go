@@ -5,26 +5,33 @@ import (
 	"sync"
 )
 
-// lruCache is a fixed-capacity LRU over optimization results, keyed by
-// fingerprint+options. Cached values are immutable once published, so
-// one *cachedResult may be handed to any number of concurrent readers.
+// lruCache is a capacity- and byte-bounded LRU over optimization
+// results, keyed by fingerprint+options. Cached values are immutable
+// once published, so one *cachedResult may be handed to any number of
+// concurrent readers. Entry sizes are the encoded (cachestore codec)
+// lengths when known and zero otherwise, so the byte bound tracks what
+// an entry occupies at rest rather than a Go-heap estimate.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64 // 0 = unbounded
+	bytes    int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
 }
 
 type cacheEntry struct {
-	key string
-	res *cachedResult
+	key  string
+	res  *cachedResult
+	size int64
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(capacity int, maxBytes int64) *lruCache {
 	return &lruCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
 	}
 }
 
@@ -39,19 +46,34 @@ func (c *lruCache) get(key string) (*cachedResult, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-func (c *lruCache) add(key string, res *cachedResult) {
+// add inserts or replaces an entry, then evicts from the cold end
+// while the cache exceeds its entry or byte bound. An entry that alone
+// exceeds the byte bound is refused outright — caching it would evict
+// the whole warm set for one result.
+func (c *lruCache) add(key string, res *cachedResult, size int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	for c.order.Len() > c.cap {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.res, e.size = res, size
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res, size: size})
+		c.bytes += size
+	}
+	// The Len() > 1 guard keeps the just-touched entry: the byte bound
+	// evicts colder entries to make room, never the result it is making
+	// room for.
+	for c.order.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.order.Len() > 1) {
 		oldest := c.order.Back()
+		e := oldest.Value.(*cacheEntry)
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, e.key)
+		c.bytes -= e.size
 	}
 }
 
@@ -59,4 +81,11 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// bytesUsed reports the summed encoded size of the cached entries.
+func (c *lruCache) bytesUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

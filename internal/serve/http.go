@@ -5,13 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 
 	"tensat"
+	"tensat/internal/cachestore"
+	"tensat/internal/cluster"
+	"tensat/internal/tenant"
 	"tensat/internal/tensor"
 )
 
@@ -36,9 +43,16 @@ type OptimizeRequest struct {
 // OptimizeReply is the body answering POST /optimize and
 // GET /v1/jobs/{id}/result.
 type OptimizeReply struct {
-	Fingerprint    string  `json:"fingerprint"`
-	Cached         bool    `json:"cached"`
-	Deduped        bool    `json:"deduped"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	Deduped     bool   `json:"deduped"`
+	// CacheTier names where a cached answer came from ("memory",
+	// "disk", "peer"); empty for cold runs.
+	CacheTier string `json:"cache_tier,omitempty"`
+	// Degraded marks a load-shed answer: the tenant was over quota and
+	// the run used greedy-only extraction instead of ILP. Degraded
+	// answers are never cached as the request's optimal.
+	Degraded       bool    `json:"degraded,omitempty"`
 	Graph          string  `json:"graph"`
 	OrigCost       float64 `json:"orig_cost"`
 	OptCost        float64 `json:"opt_cost"`
@@ -177,6 +191,8 @@ type StatsReply struct {
 	Canceled     uint64  `json:"canceled"`
 	InFlight     int     `json:"in_flight"`
 	CacheEntries int     `json:"cache_entries"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	QueueWaiting int     `json:"queue_waiting"`
 	Workers      int     `json:"workers"`
 	P50MS        float64 `json:"p50_ms"`
 	P95MS        float64 `json:"p95_ms"`
@@ -209,6 +225,22 @@ type StatsReply struct {
 	ILPPresolveRemoved uint64            `json:"ilp_presolve_removed"`
 	ILPIncumbents      uint64            `json:"ilp_incumbents"`
 	ILPSolves          map[string]uint64 `json:"ilp_solves,omitempty"`
+	// Persistent result-store tier (zeros when no -store-dir).
+	StoreHits    uint64 `json:"store_hits"`
+	StoreMisses  uint64 `json:"store_misses"`
+	StoreErrors  uint64 `json:"store_errors"`
+	StorePuts    uint64 `json:"store_puts"`
+	StoreEntries int    `json:"store_entries"`
+	StoreBytes   int64  `json:"store_bytes"`
+	// Peer cache tier (zeros when no -peers).
+	PeerHits   uint64 `json:"peer_hits"`
+	PeerMisses uint64 `json:"peer_misses"`
+	PeerErrors uint64 `json:"peer_errors"`
+	PeerPuts   uint64 `json:"peer_puts"`
+	// Tenant admission control (zeros when no -tenants).
+	ShedTotal      uint64            `json:"shed_total"`
+	TenantRequests map[string]uint64 `json:"tenant_requests,omitempty"`
+	TenantRejected map[string]uint64 `json:"tenant_rejected,omitempty"`
 }
 
 // VersionReply is the body answering GET /v1/version.
@@ -228,6 +260,20 @@ type VersionReply struct {
 
 type errorReply struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable error class ("rate_limited",
+	// "job_store_full", "unauthorized", "bad_query") so clients can
+	// branch without parsing the human-readable message.
+	Code string `json:"code,omitempty"`
+}
+
+// writeError answers with a coded error body. retryAfter > 0
+// additionally sets the Retry-After header (whole seconds, rounded
+// up), the contract every 429 this server emits honors.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+	}
+	writeJSON(w, status, errorReply{Error: msg, Code: code})
 }
 
 // NewHandler exposes s over HTTP+JSON.
@@ -313,7 +359,163 @@ func NewHandler(s *Service) http.Handler {
 		deprecated(w, "/v1/healthz")
 		handleHealthz(w)
 	})
-	return mux
+	// Internal fleet surface: peers fetch records they own and push cold
+	// results to their owners. Never authenticated (node-to-node, not
+	// client traffic) and never fanning out (loop prevention by
+	// construction; the origin header catches misconfiguration).
+	mux.HandleFunc("GET /v1/peer/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		handlePeerGet(s, w, r)
+	})
+	mux.HandleFunc("PUT /v1/peer/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		handlePeerPut(s, w, r)
+	})
+	if s.cfg.Tenants == nil {
+		return mux
+	}
+	return requireTenant(s, mux)
+}
+
+// tenantCtxKey carries the authenticated *tenant.Tenant through the
+// request context from the auth middleware to the handlers.
+type tenantCtxKey struct{}
+
+// tenantFrom extracts the authenticated tenant (nil when the service
+// runs without tenant auth).
+func tenantFrom(ctx context.Context) *tenant.Tenant {
+	tn, _ := ctx.Value(tenantCtxKey{}).(*tenant.Tenant)
+	return tn
+}
+
+// authExempt lists the paths that stay open when tenant auth is on:
+// probes and scrapers (healthz, metrics), build identification,
+// profile discovery, and the node-to-node peer surface.
+func authExempt(path string) bool {
+	switch path {
+	case "/healthz", "/v1/healthz", "/metrics", "/v1/version",
+		"/v1/rulesets", "/v1/costmodels":
+		return true
+	}
+	return strings.HasPrefix(path, cluster.PeerPath)
+}
+
+// apiKey extracts the presented credential: "Authorization: Bearer
+// <key>" or the "X-API-Key" header.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return key
+		}
+		return ""
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// requireTenant authenticates every non-exempt request against the
+// tenant registry and stashes the resolved tenant in the context for
+// the submission handlers' admission control.
+func requireTenant(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := apiKey(r)
+		if key == "" {
+			writeError(w, http.StatusUnauthorized, "unauthorized",
+				"missing API key (use Authorization: Bearer <key> or X-API-Key)", 0)
+			return
+		}
+		tn, ok := s.cfg.Tenants.Lookup(key)
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "unauthorized", "unknown API key", 0)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, &tn)))
+	})
+}
+
+// maxPeerPayload bounds a pushed record; anything larger than the
+// store's frame limit is corrupt by definition.
+const maxPeerPayload = 1 << 30
+
+// peerPreamble runs the shared peer-surface checks: the tier must be
+// configured, and a request whose origin header names this node is a
+// routing loop (508), never served.
+func peerPreamble(s *Service, w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Cluster == nil {
+		writeError(w, http.StatusNotFound, "no_cluster", "this node is not part of a cluster", 0)
+		return false
+	}
+	if origin := r.Header.Get(cluster.OriginHeader); origin != "" && origin == s.cfg.Cluster.Self() {
+		writeError(w, http.StatusLoopDetected, "peer_loop",
+			"peer request originated from this node — check the -peers/-self configuration", 0)
+		return false
+	}
+	return true
+}
+
+// handlePeerGet answers GET /v1/peer/cache/{key} strictly from this
+// node's local tiers (store, then memory) — it never consults other
+// peers, which is what makes routing loops structurally impossible.
+func handlePeerGet(s *Service, w http.ResponseWriter, r *http.Request) {
+	if !peerPreamble(s, w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	var payload []byte
+	if st := s.cfg.Store; st != nil {
+		if p, ok, err := st.Get(key); err == nil && ok {
+			payload = p
+		}
+	}
+	if payload == nil {
+		if entry, ok := s.cache.get(key); ok {
+			if p, err := cachestore.Encode(entry.res, entry.tensors); err == nil {
+				payload = p
+			}
+		}
+	}
+	if payload == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no record for key", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// handlePeerPut accepts a pushed record for a key this node owns. The
+// payload is decoded before acceptance — a peer cannot poison the
+// store with bytes this node could not serve back.
+func handlePeerPut(s *Service, w http.ResponseWriter, r *http.Request) {
+	if !peerPreamble(s, w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxPeerPayload+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_payload", "reading record: "+err.Error(), 0)
+		return
+	}
+	if len(payload) > maxPeerPayload {
+		writeError(w, http.StatusRequestEntityTooLarge, "bad_payload", "record exceeds frame limit", 0)
+		return
+	}
+	res, tensors, err := cachestore.Decode(payload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_payload", "undecodable record: "+err.Error(), 0)
+		return
+	}
+	s.cache.add(key, &cachedResult{res: res, tensors: tensors}, int64(len(payload)))
+	if st := s.cfg.Store; st != nil {
+		if err := st.Put(key, payload); err != nil {
+			s.stats.storeError()
+			s.log.Warn("storing pushed record failed", "key", key, "error", err)
+		} else {
+			s.stats.storePut()
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // deprecated stamps the headers a pre-/v1 path answers with: the same
@@ -357,6 +559,23 @@ func handleStats(s *Service, w http.ResponseWriter) {
 		ILPPresolveRemoved: st.ILP.PresolveRemoved,
 		ILPIncumbents:      st.ILP.Incumbents,
 		ILPSolves:          st.ILP.Solves,
+
+		CacheBytes:   st.CacheBytes,
+		QueueWaiting: st.QueueWaiting,
+		StoreHits:    st.Store.Hits,
+		StoreMisses:  st.Store.Misses,
+		StoreErrors:  st.Store.Errors,
+		StorePuts:    st.Store.Puts,
+		StoreEntries: st.StoreEntries,
+		StoreBytes:   st.StoreBytes,
+		PeerHits:     st.Peer.Hits,
+		PeerMisses:   st.Peer.Misses,
+		PeerErrors:   st.Peer.Errors,
+		PeerPuts:     st.Peer.Puts,
+
+		ShedTotal:      st.Shed,
+		TenantRequests: st.TenantRequests,
+		TenantRejected: st.TenantRejected,
 	})
 }
 
@@ -365,14 +584,52 @@ func handleHealthz(w http.ResponseWriter) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleListJobs answers GET /v1/jobs with a summary of every tracked
-// job, oldest first.
-func handleListJobs(s *Service, w http.ResponseWriter, _ *http.Request) {
+// handleListJobs answers GET /v1/jobs with a summary of tracked jobs,
+// oldest first. ?status= filters by lifecycle state and ?limit= caps
+// the row count; junk values (and unknown parameters) are 400s instead
+// of silently ignored filters.
+func handleListJobs(s *Service, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for k := range q {
+		if k != "status" && k != "limit" {
+			writeError(w, http.StatusBadRequest, "bad_query",
+				"unknown query parameter "+strconv.Quote(k)+" (known: status, limit)", 0)
+			return
+		}
+	}
+	var statusFilter JobStatus
+	if v := q.Get("status"); v != "" {
+		switch JobStatus(v) {
+		case JobRunning, JobDone, JobCanceled, JobFailed:
+			statusFilter = JobStatus(v)
+		default:
+			writeError(w, http.StatusBadRequest, "bad_query",
+				"unknown status "+strconv.Quote(v)+" (known: running, done, canceled, failed)", 0)
+			return
+		}
+	}
+	limit := -1
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad_query",
+				"limit must be a positive integer, got "+strconv.Quote(v), 0)
+			return
+		}
+		limit = n
+	}
+
 	jobs := s.Jobs()
-	reply := JobListReply{Jobs: make([]JobSummaryReply, 0, len(jobs)), Count: len(jobs)}
+	reply := JobListReply{Jobs: make([]JobSummaryReply, 0, len(jobs))}
 	now := time.Now()
 	for _, j := range jobs {
 		status, _ := j.Status()
+		if statusFilter != "" && status != statusFilter {
+			continue
+		}
+		if limit >= 0 && len(reply.Jobs) >= limit {
+			break
+		}
 		rs, cm := j.Profile()
 		reply.Jobs = append(reply.Jobs, JobSummaryReply{
 			ID:        j.ID(),
@@ -383,6 +640,7 @@ func handleListJobs(s *Service, w http.ResponseWriter, _ *http.Request) {
 			StatusURL: "/v1/jobs/" + j.ID(),
 		})
 	}
+	reply.Count = len(reply.Jobs)
 	writeJSON(w, http.StatusOK, reply)
 }
 
@@ -485,16 +743,21 @@ func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	job, err := s.SubmitJob(g, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
+	job, err := s.SubmitJobAs(g, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond, tenantFrom(r.Context()))
 	if err != nil {
-		status := http.StatusInternalServerError
+		var rle *RateLimitError
 		switch {
 		case errors.Is(err, ErrBadOptions):
-			status = http.StatusBadRequest
+			writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
 		case errors.Is(err, ErrJobStoreFull):
-			status = http.StatusTooManyRequests
+			// Backpressure, not a fault: tell the client when to retry
+			// and which condition it hit.
+			writeError(w, http.StatusTooManyRequests, "job_store_full", err.Error(), time.Second)
+		case errors.As(err, &rle):
+			writeError(w, http.StatusTooManyRequests, "rate_limited", err.Error(), rle.RetryAfter)
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})
 		}
-		writeJSON(w, status, errorReply{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusAccepted, toJobReply(job))
@@ -745,8 +1008,13 @@ func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	resp, err := s.Optimize(ctx, g, req.Options)
+	resp, err := s.OptimizeAs(ctx, g, req.Options, tenantFrom(r.Context()))
 	if err != nil {
+		var rle *RateLimitError
+		if errors.As(err, &rle) {
+			writeError(w, http.StatusTooManyRequests, "rate_limited", err.Error(), rle.RetryAfter)
+			return
+		}
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, ErrBadOptions):
@@ -774,6 +1042,8 @@ func writeOptimizeReply(w http.ResponseWriter, resp *Response) {
 		Fingerprint:    resp.Fingerprint,
 		Cached:         resp.Cached,
 		Deduped:        resp.Deduped,
+		CacheTier:      resp.Tier,
+		Degraded:       resp.Degraded,
 		Graph:          string(text),
 		OrigCost:       res.OrigCost,
 		OptCost:        res.OptCost,

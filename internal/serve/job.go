@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"tensat"
-	"tensat/internal/fingerprint"
+	"tensat/internal/tenant"
 )
 
 // ErrJobStoreFull is returned by SubmitJob when the store holds
@@ -105,6 +105,11 @@ type Job struct {
 	cancel  context.CancelFunc
 	done    chan struct{}
 	log     progressLog
+	// tenant is the admitting tenant's name ("" when untenanted);
+	// degraded records the admission decision — which quota slot the
+	// job holds and must release on finish.
+	tenant   string
+	degraded bool
 
 	mu     sync.Mutex
 	status JobStatus
@@ -352,23 +357,25 @@ func newJobID() (string, error) {
 // positive, and by Job.Cancel; it is NOT tied to the submitting
 // caller's lifetime — that is the point of the asynchronous surface.
 func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Duration) (*Job, error) {
-	opts, err := ro.apply(s.cfg.Base)
-	if err != nil {
-		return nil, err
-	}
-	prof, err := s.resolveProfile(&opts)
-	if err != nil {
-		return nil, err
-	}
-	fp, err := fingerprint.GraphHex(g)
-	if err != nil {
-		return nil, err
-	}
-	names, err := fingerprint.Tensors(g)
+	return s.SubmitJobAs(g, ro, timeout, nil)
+}
+
+// SubmitJobAs is SubmitJob under a tenant's admission control: the
+// decision (full quality, degraded, or *RateLimitError) is made at
+// submission, the quota slot is held for the job's lifetime, and the
+// tenant's priority orders the job in the worker queue. tn == nil
+// bypasses admission entirely.
+func (s *Service) SubmitJobAs(g *tensat.Graph, ro RequestOptions, timeout time.Duration, tn *tenant.Tenant) (*Job, error) {
+	q, err := s.prepare(g, ro)
 	if err != nil {
 		return nil, err
 	}
 	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	s.stats.profile(q.prof)
+	prio, degraded, err := s.admit(tn)
 	if err != nil {
 		return nil, err
 	}
@@ -383,26 +390,35 @@ func (s *Service) SubmitJob(g *tensat.Graph, ro RequestOptions, timeout time.Dur
 	job := &Job{
 		id:      id,
 		created: time.Now(),
-		prof:    prof,
+		prof:    q.prof,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		status:  JobRunning,
+	}
+	if tn != nil && s.cfg.Tenants != nil {
+		job.tenant, job.degraded = tn.Name, degraded
 	}
 	job.log.init()
 	job.log.publish(tensat.Progress{Phase: tensat.PhaseQueued})
 	if err := s.jobs.add(job); err != nil {
 		cancel()
+		if job.tenant != "" {
+			s.cfg.Tenants.Release(job.tenant, job.degraded)
+		}
 		return nil, err
 	}
-	key := requestKey(fp, opts, prof)
-	s.stats.profile(prof)
 	s.metrics.jobsSubmitted.Inc()
 	s.metrics.jobsRunning.Inc()
-	s.log.Info("job submitted",
+	attrs := []any{
 		"job", job.id,
-		"profile", prof.label(),
-		"fingerprint", fp)
-	go s.runJob(ctx, job, key, fp, names, g, opts)
+		"profile", q.prof.label(),
+		"fingerprint", q.fp,
+	}
+	if job.tenant != "" {
+		attrs = append(attrs, "tenant", job.tenant, "degraded", job.degraded)
+	}
+	s.log.Info("job submitted", attrs...)
+	go s.runJob(ctx, job, q, g, prio, degraded)
 	return job, nil
 }
 
@@ -419,10 +435,14 @@ func (s *Service) Jobs() []*Job { return s.jobs.list() }
 func (s *Service) JobCounters() JobCounters { return s.jobs.counters() }
 
 // finishJob records the terminal state in the job, the store, the
-// Prometheus job-lifecycle counters, and the structured log.
+// Prometheus job-lifecycle counters, and the structured log, and
+// releases the tenant quota slot the job has held since submission.
 func (s *Service) finishJob(job *Job, resp *Response, err error) {
 	status := job.finish(resp, err)
 	s.jobs.recordFinish(status)
+	if job.tenant != "" && s.cfg.Tenants != nil {
+		s.cfg.Tenants.Release(job.tenant, job.degraded)
+	}
 	s.metrics.jobsRunning.Dec()
 	attrs := []any{
 		"job", job.id,
@@ -445,28 +465,34 @@ func (s *Service) finishJob(job *Job, resp *Response, err error) {
 	s.log.Info("job finished", attrs...)
 }
 
-// runJob drives one asynchronous job through the same cache →
+// runJob drives one asynchronous job through the same cache tiers →
 // singleflight → worker-pool path as the synchronous Optimize,
 // pumping the shared flight's progress stream into the job's own log
 // so every deduplicated sibling (and the SSE watchers of each) sees
 // identical live snapshots.
-func (s *Service) runJob(ctx context.Context, job *Job, key, fp string, names []string, g *tensat.Graph, opts tensat.Options) {
-	if entry, ok := s.cache.get(key); ok {
-		s.stats.hit()
-		res, err := entry.inVocabulary(names)
+func (s *Service) runJob(ctx context.Context, job *Job, q request, g *tensat.Graph, prio int, degraded bool) {
+	if entry, tier, ok := s.lookup(ctx, q.key); ok {
+		res, err := entry.inVocabulary(q.names)
 		if err != nil {
 			s.finishJob(job, nil, err)
 			return
 		}
-		s.finishJob(job, &Response{Result: res, Fingerprint: fp, Cached: true}, nil)
+		s.finishJob(job, &Response{Result: res, Fingerprint: q.fp, Cached: true, Tier: tier}, nil)
 		return
 	}
 	s.stats.miss()
 
-	c, leader := s.flight.join(key)
+	runKey, runOpts := q.key, q.opts
+	if degraded {
+		runKey += shedKeySuffix
+		runOpts.Extractor = tensat.ExtractGreedy
+		s.stats.shed()
+		s.log.Info("load shedding job", "job", job.id, "tenant", job.tenant)
+	}
+	c, leader := s.flight.join(runKey)
 	if leader {
-		c.tensors = names // published to followers by close(c.done)
-		go s.run(key, c, g, opts)
+		c.tensors = q.names // published to followers by close(c.done)
+		go s.run(runKey, c, g, runOpts, prio, degraded)
 	} else {
 		s.stats.dedup()
 	}
@@ -491,19 +517,19 @@ func (s *Service) runJob(ctx context.Context, job *Job, key, fp string, names []
 			}
 			// A sibling's graph may spell the tensors differently than
 			// the leader's; answer in this job's vocabulary.
-			res, err := (&cachedResult{res: c.res, tensors: c.tensors}).inVocabulary(names)
+			res, err := (&cachedResult{res: c.res, tensors: c.tensors}).inVocabulary(q.names)
 			if err != nil {
 				s.finishJob(job, nil, err)
 				return
 			}
-			s.finishJob(job, &Response{Result: res, Fingerprint: fp, Deduped: !leader}, nil)
+			s.finishJob(job, &Response{Result: res, Fingerprint: q.fp, Deduped: !leader, Degraded: degraded}, nil)
 			return
 		case <-ctx.Done():
 			// Canceled (or timed out): drop our interest. The shared run
 			// keeps going while any other request still wants it; if we
 			// were the last, the flight cancels the work, the worker slot
 			// frees up, and run() never caches the partial result.
-			s.flight.leave(key, c)
+			s.flight.leave(runKey, c)
 			s.stats.cancel()
 			s.finishJob(job, nil, ctx.Err())
 			return

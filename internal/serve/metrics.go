@@ -50,6 +50,20 @@ type metrics struct {
 	ilpPresolveRemoved *obs.Counter
 	ilpIncumbents      *obs.Counter
 	ilpSolves          *obs.CounterVec // by solver, outcome
+
+	storeHits   *obs.Counter
+	storeMisses *obs.Counter
+	storeErrors *obs.Counter
+	storePuts   *obs.Counter
+
+	peerHits   *obs.Counter
+	peerMisses *obs.Counter
+	peerErrors *obs.Counter
+	peerPuts   *obs.Counter
+
+	shed           *obs.Counter
+	tenantRequests *obs.CounterVec // by tenant
+	tenantRejected *obs.CounterVec // by tenant
 }
 
 func newMetrics(s *Service) *metrics {
@@ -92,9 +106,41 @@ func newMetrics(s *Service) *metrics {
 		ilpPresolveRemoved: r.Counter("tensat_ilp_presolve_constraints_removed_total", "Vacuous ILP cycle-constraint rows dropped by presolve."),
 		ilpIncumbents:      r.Counter("tensat_ilp_incumbents_total", "ILP incumbent improvements across completed solves."),
 		ilpSolves:          r.CounterVec("tensat_ilp_solves_total", "Completed ILP solves by backend and outcome (optimal vs. feasible).", "solver", "outcome"),
+
+		storeHits:   r.Counter("tensat_store_hits_total", "LRU misses answered from the persistent result store."),
+		storeMisses: r.Counter("tensat_store_misses_total", "Persistent-store lookups that found no record."),
+		storeErrors: r.Counter("tensat_store_errors_total", "Persistent-store reads/writes that failed or found unreadable records."),
+		storePuts:   r.Counter("tensat_store_puts_total", "Results written through to the persistent store."),
+
+		peerHits:   r.Counter("tensat_peer_hits_total", "Results served by the owning peer's cache."),
+		peerMisses: r.Counter("tensat_peer_misses_total", "Clean peer-cache misses (owner had no record)."),
+		peerErrors: r.Counter("tensat_peer_errors_total", "Peer requests that failed (timeout, transport, unreadable record) — always degraded to local compute."),
+		peerPuts:   r.Counter("tensat_peer_puts_total", "Cold results pushed to their owning peer."),
+
+		shed:           r.Counter("tensat_shed_total", "Requests degraded to greedy-only extraction under tenant quota pressure."),
+		tenantRequests: r.CounterVec("tensat_tenant_requests_total", "Requests entering admission control, by tenant.", "tenant"),
+		tenantRejected: r.CounterVec("tensat_tenant_rejected_total", "Requests rejected (429) by admission control, by tenant.", "tenant"),
 	}
 	r.GaugeFunc("tensat_cache_entries", "Current result-cache population.", func() float64 {
 		return float64(s.cache.len())
+	})
+	r.GaugeFunc("tensat_cache_bytes", "Summed encoded size of the in-memory result cache.", func() float64 {
+		return float64(s.cache.bytesUsed())
+	})
+	r.GaugeFunc("tensat_store_entries", "Live records in the persistent result store.", func() float64 {
+		if s.cfg.Store == nil {
+			return 0
+		}
+		return float64(s.cfg.Store.Len())
+	})
+	r.GaugeFunc("tensat_store_bytes", "Live payload bytes in the persistent result store.", func() float64 {
+		if s.cfg.Store == nil {
+			return 0
+		}
+		return float64(s.cfg.Store.Bytes())
+	})
+	r.GaugeFunc("tensat_queue_waiting", "Optimization runs queued for a worker slot.", func() float64 {
+		return float64(s.queue.waiting())
 	})
 	r.GaugeFunc("tensat_workers", "Configured worker-pool bound.", func() float64 {
 		return float64(s.cfg.Workers)

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+)
+
+// workQueue is the priority-aware worker-pool gate that replaced the
+// plain semaphore: up to cap optimizations run at once, and when every
+// slot is busy, freed slots go to the highest-priority waiter (FIFO
+// within a priority, so equal-priority work cannot starve). Tenant
+// priorities flow in here — a priority-10 tenant's run starts before a
+// priority-0 batch job that queued earlier.
+type workQueue struct {
+	mu      sync.Mutex
+	cap     int
+	running int
+	waiters waiterHeap
+	seq     uint64
+}
+
+type waiter struct {
+	prio  int
+	seq   uint64
+	grant chan struct{}
+	index int // heap bookkeeping
+}
+
+func newWorkQueue(capacity int) *workQueue {
+	return &workQueue{cap: capacity}
+}
+
+// acquire blocks until a worker slot is granted or ctx ends. A nil
+// return must be paired with exactly one release.
+func (q *workQueue) acquire(ctx context.Context, prio int) error {
+	q.mu.Lock()
+	if q.running < q.cap {
+		q.running++
+		q.mu.Unlock()
+		return nil
+	}
+	w := &waiter{prio: prio, seq: q.seq, grant: make(chan struct{})}
+	q.seq++
+	heap.Push(&q.waiters, w)
+	q.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-w.grant:
+			// Granted in the race window; pass the slot on since this
+			// caller will not run.
+			q.mu.Unlock()
+			q.release()
+		default:
+			heap.Remove(&q.waiters, w.index)
+			q.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release frees a slot: it transfers directly to the best waiter when
+// one is queued, otherwise the running count drops.
+func (q *workQueue) release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.waiters.Len() > 0 {
+		w := heap.Pop(&q.waiters).(*waiter)
+		close(w.grant) // slot transfers; running stays constant
+		return
+	}
+	q.running--
+}
+
+// waiting reports how many acquires are queued for a slot.
+func (q *workQueue) waiting() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len()
+}
+
+// waiterHeap orders by priority descending, then submission order.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}

@@ -32,9 +32,12 @@ import (
 	"time"
 
 	"tensat"
+	"tensat/internal/cachestore"
+	"tensat/internal/cluster"
 	"tensat/internal/fingerprint"
 	"tensat/internal/ilp/backend"
 	"tensat/internal/obs"
+	"tensat/internal/tenant"
 	"tensat/internal/tensor"
 )
 
@@ -70,12 +73,32 @@ type Config struct {
 	// don't reap quiet connections; 0 means 15 seconds, negative
 	// disables keepalives.
 	SSEKeepAlive time.Duration
+	// CacheMaxBytes additionally bounds the in-memory LRU by the summed
+	// encoded size of its entries; 0 means unbounded (entry count only).
+	CacheMaxBytes int64
+	// Store, when non-nil, is the persistent second cache tier: results
+	// are written through on completion and consulted on LRU misses, so
+	// a restarted daemon keeps its warm set.
+	Store cachestore.Store
+	// Cluster, when non-nil, is the peer cache tier: keys whose
+	// consistent-hash owner is another node are fetched from (and cold
+	// results pushed to) that owner. Peer failures degrade to local
+	// compute, never to request failure.
+	Cluster *cluster.Client
+	// Tenants, when non-nil, turns on API-key authentication and
+	// per-tenant admission control (rate limits, concurrency quotas,
+	// priorities, load shedding) for the HTTP surface.
+	Tenants *tenant.Registry
+	// NoShedPriority is the tenant priority at or above which requests
+	// are never quality-degraded: a saturated high-priority tenant gets
+	// an explicit 429 instead of a silently weaker answer. 0 means 100.
+	NoShedPriority int
 }
 
 // Service is a concurrent graph-optimization service.
 type Service struct {
 	cfg     Config
-	sem     chan struct{}
+	queue   *workQueue
 	cache   *lruCache
 	flight  *flightGroup
 	jobs    *jobStore
@@ -118,10 +141,13 @@ func New(cfg Config) *Service {
 	if cfg.SSEKeepAlive == 0 {
 		cfg.SSEKeepAlive = 15 * time.Second
 	}
+	if cfg.NoShedPriority <= 0 {
+		cfg.NoShedPriority = 100
+	}
 	s := &Service{
 		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.Workers),
-		cache:  newLRUCache(cfg.CacheSize),
+		queue:  newWorkQueue(cfg.Workers),
+		cache:  newLRUCache(cfg.CacheSize, cfg.CacheMaxBytes),
 		flight: newFlightGroup(),
 		jobs:   newJobStore(cfg.MaxJobs, cfg.JobTTL),
 		opt: tensat.NewOptimizer(
@@ -409,17 +435,211 @@ func (cr *cachedResult) inVocabulary(names []string) (*tensat.Result, error) {
 	return &out, nil
 }
 
+// Cache tier names, reported in Response.Tier and the HTTP
+// "cache_tier" field: where a cached answer came from.
+const (
+	TierMemory = "memory"
+	TierDisk   = "disk"
+	TierPeer   = "peer"
+)
+
+// shedKeySuffix separates a degraded (greedy-only) run's singleflight
+// key from the full-quality key: a shed run must neither join nor be
+// joined by a full-quality flight, and its key never reaches the cache
+// or the peer surface.
+const shedKeySuffix = "|shed"
+
+// RateLimitError reports an admission-control rejection: the tenant's
+// quota and shed headroom are both exhausted. Transports answer 429
+// with RetryAfter in the Retry-After header.
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over quota (retry in %s)", e.Tenant, e.RetryAfter)
+}
+
 // Response is one answered optimization request.
 type Response struct {
 	// Result is the optimization outcome (shared, treat as read-only).
 	Result *tensat.Result
 	// Fingerprint is the canonical content hash of the request graph.
 	Fingerprint string
-	// Cached is true when the answer came from the result cache;
-	// Deduped is true when this request joined an in-flight identical
-	// run instead of starting its own.
+	// Cached is true when the answer came from a cache tier; Tier then
+	// names which one (TierMemory, TierDisk, TierPeer). Deduped is true
+	// when this request joined an in-flight identical run instead of
+	// starting its own.
 	Cached  bool
 	Deduped bool
+	Tier    string
+	// Degraded marks a load-shed answer: the tenant was over quota, so
+	// the run used greedy-only extraction. Degraded results are never
+	// cached as the key's answer.
+	Degraded bool
+}
+
+// request is one prepared optimization request: effective options,
+// resolved profile, graph identity, and the derived cache key.
+type request struct {
+	opts  tensat.Options
+	prof  profile
+	fp    string
+	names []string
+	key   string
+}
+
+// prepare validates ro against the service configuration and computes
+// the request's cache identity — the shared head of the synchronous
+// and asynchronous submission paths.
+func (s *Service) prepare(g *tensat.Graph, ro RequestOptions) (request, error) {
+	var q request
+	var err error
+	if q.opts, err = ro.apply(s.cfg.Base); err != nil {
+		return q, err
+	}
+	if q.prof, err = s.resolveProfile(&q.opts); err != nil {
+		return q, err
+	}
+	if q.fp, err = fingerprint.GraphHex(g); err != nil {
+		return q, err
+	}
+	if q.names, err = fingerprint.Tensors(g); err != nil {
+		return q, err
+	}
+	q.key = requestKey(q.fp, q.opts, q.prof)
+	return q, nil
+}
+
+// admit runs tenant admission control. It returns the run priority and
+// whether the request must execute degraded; on Reject it returns a
+// *RateLimitError. A nil error means one quota slot is held and must
+// be released (Release(tn.Name, degraded)) when the request finishes.
+func (s *Service) admit(tn *tenant.Tenant) (prio int, degraded bool, err error) {
+	if tn == nil || s.cfg.Tenants == nil {
+		return 0, false, nil
+	}
+	s.stats.tenantRequest(tn.Name)
+	d, retry := s.cfg.Tenants.Acquire(tn.Name)
+	switch d {
+	case tenant.Admit:
+		return tn.Priority, false, nil
+	case tenant.Degrade:
+		if tn.Priority >= s.cfg.NoShedPriority {
+			// High-priority work is never silently weakened; surface the
+			// saturation instead.
+			s.cfg.Tenants.Release(tn.Name, true)
+			s.stats.tenantReject(tn.Name)
+			return 0, false, &RateLimitError{Tenant: tn.Name, RetryAfter: time.Second}
+		}
+		return tn.Priority, true, nil
+	default:
+		s.stats.tenantReject(tn.Name)
+		return 0, false, &RateLimitError{Tenant: tn.Name, RetryAfter: retry}
+	}
+}
+
+// lookup consults the cache tiers in cost order: the in-memory LRU,
+// the persistent store (promoting hits to memory), then — when the
+// key's consistent-hash owner is another fleet member — that peer.
+// Store and peer failures are misses, never request errors.
+func (s *Service) lookup(ctx context.Context, key string) (*cachedResult, string, bool) {
+	if entry, ok := s.cache.get(key); ok {
+		s.stats.hit()
+		return entry, TierMemory, true
+	}
+	if st := s.cfg.Store; st != nil {
+		payload, ok, err := st.Get(key)
+		switch {
+		case err != nil:
+			s.stats.storeError()
+			s.log.Warn("result store read failed", "key", key, "error", err)
+		case ok:
+			res, tensors, derr := cachestore.Decode(payload)
+			if derr != nil {
+				// A stale-schema or corrupt record is a miss — the run
+				// recomputes and overwrites it — never a request failure.
+				s.stats.storeError()
+				s.log.Warn("result store record unreadable", "key", key, "error", derr)
+			} else {
+				entry := &cachedResult{res: res, tensors: tensors}
+				s.cache.add(key, entry, int64(len(payload)))
+				s.stats.storeHit()
+				return entry, TierDisk, true
+			}
+		default:
+			s.stats.storeMiss()
+		}
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		if owner, local := cl.Owner(key); !local {
+			payload, err := cl.Fetch(ctx, key)
+			switch {
+			case err == nil:
+				res, tensors, derr := cachestore.Decode(payload)
+				if derr == nil {
+					entry := &cachedResult{res: res, tensors: tensors}
+					s.cache.add(key, entry, int64(len(payload)))
+					s.stats.peerHit()
+					return entry, TierPeer, true
+				}
+				s.stats.peerError()
+				s.log.Warn("peer record unreadable", "key", key, "peer", owner, "error", derr)
+			case errors.Is(err, cluster.ErrNotFound):
+				s.stats.peerMiss()
+			case errors.Is(err, context.Canceled):
+				// The requester went away; not a peer fault.
+			default:
+				s.stats.peerError()
+				s.log.Warn("peer fetch failed", "key", key, "peer", owner, "error", err)
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// cacheResult publishes a completed full-quality run to every tier:
+// the in-memory LRU, the persistent store (synchronously — the result
+// must survive a crash that immediately follows the reply), and, when
+// another node owns the key, a best-effort asynchronous push to that
+// peer so the fleet's warm set converges on the owner.
+func (s *Service) cacheResult(key string, entry *cachedResult) {
+	var payload []byte
+	if s.cfg.Store != nil || s.cfg.Cluster != nil || s.cfg.CacheMaxBytes > 0 {
+		var err error
+		payload, err = cachestore.Encode(entry.res, entry.tensors)
+		if err != nil {
+			s.log.Warn("encoding result for persistence", "key", key, "error", err)
+			payload = nil
+		}
+	}
+	s.cache.add(key, entry, int64(len(payload)))
+	if payload == nil {
+		return
+	}
+	if st := s.cfg.Store; st != nil {
+		if err := st.Put(key, payload); err != nil {
+			s.stats.storeError()
+			s.log.Warn("result store write failed", "key", key, "error", err)
+		} else {
+			s.stats.storePut()
+		}
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		if owner, local := cl.Owner(key); !local {
+			go func() {
+				// The cluster client bounds the request with its own
+				// timeout; failures are counters, never caller errors.
+				if err := cl.Push(context.Background(), key, payload); err != nil {
+					s.stats.peerError()
+					s.log.Warn("peer push failed", "key", key, "peer", owner, "error", err)
+				} else {
+					s.stats.peerPut()
+				}
+			}()
+		}
+	}
 }
 
 // Optimize answers one request: cache lookup, then singleflight join
@@ -427,42 +647,52 @@ type Response struct {
 // with ctx.Err() — the shared run keeps going while any other request
 // still wants it, and an abandoned or failed run is never cached.
 func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptions) (*Response, error) {
+	return s.OptimizeAs(ctx, g, ro, nil)
+}
+
+// OptimizeAs is Optimize under a tenant's admission control: the
+// tenant's quota decides whether the request runs at full quality,
+// degrades to greedy-only extraction, or is rejected with a
+// *RateLimitError. tn == nil bypasses admission entirely.
+func (s *Service) OptimizeAs(ctx context.Context, g *tensat.Graph, ro RequestOptions, tn *tenant.Tenant) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	opts, err := ro.apply(s.cfg.Base)
+	q, err := s.prepare(g, ro)
 	if err != nil {
 		return nil, err
 	}
-	prof, err := s.resolveProfile(&opts)
+	s.stats.profile(q.prof)
+	prio, degraded, err := s.admit(tn)
 	if err != nil {
 		return nil, err
 	}
-	fp, err := fingerprint.GraphHex(g)
-	if err != nil {
-		return nil, err
+	if tn != nil && s.cfg.Tenants != nil {
+		defer s.cfg.Tenants.Release(tn.Name, degraded)
 	}
-	names, err := fingerprint.Tensors(g)
-	if err != nil {
-		return nil, err
-	}
-	key := requestKey(fp, opts, prof)
-	s.stats.profile(prof)
 
-	if entry, ok := s.cache.get(key); ok {
-		s.stats.hit()
-		res, err := entry.inVocabulary(names)
+	// A cached full-quality answer rescues even an over-quota request:
+	// shedding only applies to work, and a cache hit is free.
+	if entry, tier, ok := s.lookup(ctx, q.key); ok {
+		res, err := entry.inVocabulary(q.names)
 		if err != nil {
 			return nil, err
 		}
-		return &Response{Result: res, Fingerprint: fp, Cached: true}, nil
+		return &Response{Result: res, Fingerprint: q.fp, Cached: true, Tier: tier}, nil
 	}
 	s.stats.miss()
 
-	c, leader := s.flight.join(key)
+	runKey, runOpts := q.key, q.opts
+	if degraded {
+		runKey += shedKeySuffix
+		runOpts.Extractor = tensat.ExtractGreedy
+		s.stats.shed()
+		s.log.Info("load shedding request", "tenant", tn.Name, "fingerprint", q.fp)
+	}
+	c, leader := s.flight.join(runKey)
 	if leader {
-		c.tensors = names // published to followers by close(c.done)
-		go s.run(key, c, g, opts)
+		c.tensors = q.names // published to followers by close(c.done)
+		go s.run(runKey, c, g, runOpts, prio, degraded)
 	} else {
 		s.stats.dedup()
 	}
@@ -473,13 +703,13 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 		}
 		// A follower's graph may spell the tensors differently than the
 		// leader's; answer in the follower's vocabulary.
-		res, err := (&cachedResult{res: c.res, tensors: c.tensors}).inVocabulary(names)
+		res, err := (&cachedResult{res: c.res, tensors: c.tensors}).inVocabulary(q.names)
 		if err != nil {
 			return nil, err
 		}
-		return &Response{Result: res, Fingerprint: fp, Deduped: !leader}, nil
+		return &Response{Result: res, Fingerprint: q.fp, Deduped: !leader, Degraded: degraded}, nil
 	case <-ctx.Done():
-		s.flight.leave(key, c)
+		s.flight.leave(runKey, c)
 		s.stats.cancel()
 		return nil, ctx.Err()
 	}
@@ -487,7 +717,7 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 
 // run executes one deduplicated optimization on the worker pool under
 // the flight call's reference-counted context.
-func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Options) {
+func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Options, prio int, degraded bool) {
 	// Live progress flows into the flight's shared log, where every
 	// waiter — async jobs in particular — can pump it out. Neither the
 	// sink nor the trace switch is part of the cache key (see
@@ -497,15 +727,13 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	// trace.
 	opts.Progress = c.progress.publish
 	opts.Trace = true
-	// Acquire a worker slot; bail out if every interested request is
-	// gone before one frees up.
-	select {
-	case s.sem <- struct{}{}:
-	case <-c.ctx.Done():
-		s.flight.finish(key, c, nil, c.ctx.Err())
+	// Acquire a worker slot by priority; bail out if every interested
+	// request is gone before one frees up.
+	if err := s.queue.acquire(c.ctx, prio); err != nil {
+		s.flight.finish(key, c, nil, err)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.queue.release()
 
 	s.stats.startWork()
 	start := time.Now()
@@ -525,8 +753,10 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	// explicit budget hit the runner's implicit safety-net timeout;
 	// how far it got depends on the worker count, which this key
 	// deliberately omits for budget-free requests — don't cache it.
-	if err == nil && !res.Canceled && !(res.Truncated && opts.ExploreTimeout == 0) {
-		s.cache.add(key, &cachedResult{res: res, tensors: c.tensors})
+	// A degraded (load-shed) run is never cached or pushed at all: its
+	// greedy-only answer must not masquerade as the key's optimal.
+	if err == nil && !degraded && !res.Canceled && !(res.Truncated && opts.ExploreTimeout == 0) {
+		s.cacheResult(key, &cachedResult{res: res, tensors: c.tensors})
 	}
 	s.flight.finish(key, c, res, err)
 }
@@ -535,6 +765,12 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 func (s *Service) Stats() Stats {
 	st := s.stats.snapshot()
 	st.CacheEntries = s.cache.len()
+	st.CacheBytes = s.cache.bytesUsed()
+	st.QueueWaiting = s.queue.waiting()
+	if s.cfg.Store != nil {
+		st.StoreEntries = s.cfg.Store.Len()
+		st.StoreBytes = s.cfg.Store.Bytes()
+	}
 	st.Jobs = s.jobs.counters()
 	return st
 }

@@ -386,14 +386,14 @@ func TestFailedRunIsNotCached(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, 0)
 	r1, r2, r3 := &cachedResult{}, &cachedResult{}, &cachedResult{}
-	c.add("a", r1)
-	c.add("b", r2)
+	c.add("a", r1, 1)
+	c.add("b", r2, 1)
 	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.add("c", r3)
+	c.add("c", r3, 1)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b not evicted")
 	}

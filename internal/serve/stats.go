@@ -20,9 +20,30 @@ type Stats struct {
 	// counts requests abandoned by their callers.
 	Completed, Errors, Canceled uint64
 	// InFlight is the number of optimizations currently holding a
-	// worker slot; CacheEntries is the current LRU population.
+	// worker slot; CacheEntries is the current LRU population and
+	// CacheBytes its summed encoded size. QueueWaiting is how many runs
+	// are queued for a worker slot.
 	InFlight     int
 	CacheEntries int
+	CacheBytes   int64
+	QueueWaiting int
+	// Store counts the persistent result-store tier: disk hits and
+	// misses after an LRU miss, unreadable/failed records, and
+	// write-throughs. StoreEntries/StoreBytes snapshot the store's live
+	// population (zero when no store is configured).
+	Store        TierCounters
+	StoreEntries int
+	StoreBytes   int64
+	// Peer counts the fleet cache tier: records served by the owning
+	// peer, clean peer misses, transport failures (always soft), and
+	// completed pushes of cold results to their owners.
+	Peer TierCounters
+	// Shed counts requests degraded to greedy-only extraction because
+	// their tenant was over quota; TenantRequests/TenantRejected count
+	// per-tenant admission outcomes.
+	Shed           uint64
+	TenantRequests map[string]uint64
+	TenantRejected map[string]uint64
 	// Jobs counts the asynchronous job lifecycle (submitted, running,
 	// done, canceled, failed).
 	Jobs JobCounters
@@ -45,6 +66,15 @@ type Stats struct {
 	// population).
 	P50, P95, P99 time.Duration
 	LatencyWindow int
+}
+
+// TierCounters are the hit/miss/error/put counters of one secondary
+// cache tier (the persistent store or the peer fleet).
+type TierCounters struct {
+	Hits   uint64
+	Misses uint64
+	Errors uint64
+	Puts   uint64
 }
 
 // SearchCounters sums tensat.SearchStats over completed runs: classes
@@ -93,6 +123,11 @@ type collector struct {
 	profiles  map[string]uint64
 	search    SearchCounters
 	ilp       ILPCounters
+	store     TierCounters
+	peer      TierCounters
+	shedTotal uint64
+	tenantReq map[string]uint64
+	tenantRej map[string]uint64
 	ring      [latencyWindow]time.Duration
 	ringN     int // total latencies ever recorded
 }
@@ -121,6 +156,113 @@ func (c *collector) dedup() {
 	c.mu.Unlock()
 	if c.m != nil {
 		c.m.cacheDedup.Inc()
+	}
+}
+
+func (c *collector) storeHit() {
+	c.mu.Lock()
+	c.store.Hits++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.storeHits.Inc()
+	}
+}
+
+func (c *collector) storeMiss() {
+	c.mu.Lock()
+	c.store.Misses++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.storeMisses.Inc()
+	}
+}
+
+func (c *collector) storeError() {
+	c.mu.Lock()
+	c.store.Errors++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.storeErrors.Inc()
+	}
+}
+
+func (c *collector) storePut() {
+	c.mu.Lock()
+	c.store.Puts++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.storePuts.Inc()
+	}
+}
+
+func (c *collector) peerHit() {
+	c.mu.Lock()
+	c.peer.Hits++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.peerHits.Inc()
+	}
+}
+
+func (c *collector) peerMiss() {
+	c.mu.Lock()
+	c.peer.Misses++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.peerMisses.Inc()
+	}
+}
+
+func (c *collector) peerError() {
+	c.mu.Lock()
+	c.peer.Errors++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.peerErrors.Inc()
+	}
+}
+
+func (c *collector) peerPut() {
+	c.mu.Lock()
+	c.peer.Puts++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.peerPuts.Inc()
+	}
+}
+
+// shed counts one request degraded to greedy-only extraction under
+// quota pressure (the per-tenant detail lives in the logs).
+func (c *collector) shed() {
+	c.mu.Lock()
+	c.shedTotal++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.shed.Inc()
+	}
+}
+
+func (c *collector) tenantRequest(name string) {
+	c.mu.Lock()
+	if c.tenantReq == nil {
+		c.tenantReq = make(map[string]uint64)
+	}
+	c.tenantReq[name]++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.tenantRequests.With(name).Inc()
+	}
+}
+
+func (c *collector) tenantReject(name string) {
+	c.mu.Lock()
+	if c.tenantRej == nil {
+		c.tenantRej = make(map[string]uint64)
+	}
+	c.tenantRej[name]++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.tenantRejected.With(name).Inc()
 	}
 }
 
@@ -247,6 +389,21 @@ func (c *collector) snapshot() Stats {
 		InFlight:  c.inFlight,
 		Search:    c.search,
 		ILP:       c.ilp,
+		Store:     c.store,
+		Peer:      c.peer,
+		Shed:      c.shedTotal,
+	}
+	if len(c.tenantReq) > 0 {
+		s.TenantRequests = make(map[string]uint64, len(c.tenantReq))
+		for k, v := range c.tenantReq {
+			s.TenantRequests[k] = v
+		}
+	}
+	if len(c.tenantRej) > 0 {
+		s.TenantRejected = make(map[string]uint64, len(c.tenantRej))
+		for k, v := range c.tenantRej {
+			s.TenantRejected[k] = v
+		}
 	}
 	if len(c.ilp.Solves) > 0 {
 		s.ILP.Solves = make(map[string]uint64, len(c.ilp.Solves))
