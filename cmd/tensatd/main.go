@@ -22,8 +22,9 @@
 //
 // Fleet operation: -store-dir persists results on disk so a restarted
 // node keeps its warm set; -peers/-self form a static fleet that
-// routes each cache key to one owning node via consistent hashing;
-// -tenants enables API-key auth with per-tenant rate limits,
+// routes each cache key to one owning node via consistent hashing,
+// with node-to-node requests authenticated by the shared secret in
+// -cluster-secret-file; -tenants enables API-key auth with per-tenant rate limits,
 // concurrency quotas and priorities — over-quota low-priority
 // requests degrade to greedy-only extraction before ever being
 // rejected. See the README's "Operating a tensatd fleet" section.
@@ -104,6 +105,7 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated host:port fleet membership for the peer cache tier (requires -self)")
 		self          = flag.String("self", "", "this node's own name in -peers (its advertised host:port)")
 		peerTimeout   = flag.Duration("peer-timeout", cluster.DefaultTimeout, "per-request peer cache timeout; a slower peer is treated as a miss")
+		peerSecret    = flag.String("cluster-secret-file", "", "file holding the fleet's shared peer-auth secret (>= 16 bytes after trimming whitespace); required with -peers, must match on every node")
 		tenantsFile   = flag.String("tenants", "", "JSON tenant registry (API keys, rate limits, concurrency quotas, priorities); empty = no auth, no quotas")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
@@ -220,6 +222,14 @@ func main() {
 		if *self == "" {
 			fatal("-peers requires -self (this node's own name in the list)")
 		}
+		if *peerSecret == "" {
+			fatal("-peers requires -cluster-secret-file; the peer surface shares the client listener and must authenticate node-to-node traffic")
+		}
+		raw, err := os.ReadFile(*peerSecret)
+		if err != nil {
+			fatal("reading cluster secret", "file", *peerSecret, "error", err)
+		}
+		secret := strings.TrimSpace(string(raw))
 		var fleet []string
 		for _, p := range strings.Split(*peers, ",") {
 			if p = strings.TrimSpace(p); p != "" {
@@ -230,6 +240,7 @@ func main() {
 			Self:    *self,
 			Peers:   fleet,
 			Timeout: *peerTimeout,
+			Secret:  secret,
 		})
 		if err != nil {
 			fatal("configuring peer cache tier", "error", err)

@@ -61,6 +61,13 @@ var ErrClosed = errors.New("cachestore: store closed")
 const (
 	logName = "results.log"
 
+	// lockName is the advisory-lock file: Open takes an exclusive flock
+	// on it so two processes pointed at the same store directory fail
+	// loudly instead of interleaving appends and corrupting the log.
+	// A separate file (not results.log itself) so compaction's
+	// rename-swap of the log never drops the lock mid-lifetime.
+	lockName = "LOCK"
+
 	// frameVersion is the record framing schema. Records whose version
 	// differs are skipped at Open (stale or future schema), not fatal.
 	frameVersion = 1
@@ -83,20 +90,29 @@ const (
 var frameMagic = [4]byte{'t', 's', 'c', 's'}
 
 // FileStore is the log-structured Store implementation.
+//
+// Locking discipline: wmu serializes the writers (Put appends and
+// compaction) and is always acquired before mu; mu guards the index
+// and file handle and is a RWMutex so concurrent Gets never queue
+// behind each other — or, more importantly, behind a Put's fsync or a
+// running compaction, both of which happen outside mu entirely.
 type FileStore struct {
-	mu   sync.Mutex
+	wmu  sync.Mutex // serializes file writers; acquired before mu
+	mu   sync.RWMutex
 	dir  string
 	f    *os.File
-	size int64 // current log file size (append offset)
+	lock *os.File // held flock on lockName for the store's lifetime
+	size int64    // current log file size (append offset)
 
 	index map[string]indexEntry
 	live  int64 // live payload bytes
 	dead  int64 // bytes of overwritten/unreadable records
 
-	closed bool
+	closed     bool
+	compacting bool // a background compaction is scheduled or running
 
 	// compactMinDead is how many dead bytes must accumulate (and exceed
-	// the live set) before Put triggers an automatic Compact.
+	// the live set) before Put triggers an automatic background Compact.
 	compactMinDead int64
 }
 
@@ -115,19 +131,30 @@ func Open(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cachestore: %w", err)
 	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	if err := lockExclusive(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("cachestore: store directory %s is already in use by another process: %w", dir, err)
+	}
 	path := filepath.Join(dir, logName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		lock.Close()
 		return nil, fmt.Errorf("cachestore: %w", err)
 	}
 	s := &FileStore{
 		dir:            dir,
 		f:              f,
+		lock:           lock,
 		index:          make(map[string]indexEntry),
 		compactMinDead: 1 << 20,
 	}
 	if err := s.load(); err != nil {
 		f.Close()
+		lock.Close()
 		return nil, err
 	}
 	return s, nil
@@ -217,10 +244,12 @@ func (s *FileStore) readFrame(off, fileSize int64) (key string, e indexEntry, ne
 	}, next, true
 }
 
-// Get implements Store.
+// Get implements Store. It holds only the read lock — concurrent Gets
+// proceed in parallel, and a Put's append+fsync (or a running
+// compaction) never blocks them.
 func (s *FileStore) Get(key string) ([]byte, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, false, ErrClosed
 	}
@@ -236,7 +265,10 @@ func (s *FileStore) Get(key string) ([]byte, bool, error) {
 }
 
 // Put implements Store: append, fsync, index — in that order, so an
-// acknowledged Put survives a crash.
+// acknowledged Put survives a crash. The append and fsync run under
+// the writer mutex only, never the index lock, so readers proceed
+// while the disk syncs; compaction is handed to a background goroutine
+// instead of running on the caller.
 func (s *FileStore) Put(key string, payload []byte) error {
 	if len(key) == 0 || len(key) > maxKeyLen {
 		return fmt.Errorf("cachestore: key length %d out of range", len(key))
@@ -245,19 +277,24 @@ func (s *FileStore) Put(key string, payload []byte) error {
 		return fmt.Errorf("cachestore: payload %d bytes exceeds limit", len(payload))
 	}
 	frame := appendFrame(nil, key, payload)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.mu.RLock()
+	f, off, closed := s.f, s.size, s.closed
+	s.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
-	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+	// With wmu held nothing else appends or swaps the log, so the
+	// reserved offset stays valid without holding mu across the IO.
+	if _, err := f.WriteAt(frame, off); err != nil {
 		return fmt.Errorf("cachestore: append: %w", err)
 	}
-	if err := s.f.Sync(); err != nil {
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("cachestore: fsync: %w", err)
 	}
-	off := s.size
-	s.size += int64(len(frame))
+	s.mu.Lock()
+	s.size = off + int64(len(frame))
 	if old, exists := s.index[key]; exists {
 		s.dead += old.recordLen
 		s.live -= old.payloadLen
@@ -269,11 +306,27 @@ func (s *FileStore) Put(key string, payload []byte) error {
 		recordLen:  int64(len(frame)),
 	}
 	s.live += int64(len(payload))
-	if s.dead > s.compactMinDead && s.dead > s.live {
-		// Best effort: a failed compaction leaves the current log intact.
-		_ = s.compactLocked()
+	trigger := s.dead > s.compactMinDead && s.dead > s.live && !s.compacting
+	if trigger {
+		s.compacting = true
+	}
+	s.mu.Unlock()
+	if trigger {
+		// Best effort and off the Put path: a failed compaction leaves
+		// the current log intact.
+		go s.backgroundCompact()
 	}
 	return nil
+}
+
+// backgroundCompact runs one automatic compaction triggered by Put.
+func (s *FileStore) backgroundCompact() {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	_ = s.compactUnderWmu()
+	s.mu.Lock()
+	s.compacting = false
+	s.mu.Unlock()
 }
 
 // appendFrame encodes one record frame onto buf.
@@ -290,17 +343,38 @@ func appendFrame(buf []byte, key string, payload []byte) []byte {
 }
 
 // Compact rewrites the log with only the live records, reclaiming dead
-// bytes. It is also triggered automatically by Put.
+// bytes. Put triggers it automatically in a background goroutine when
+// dead bytes exceed the live set.
 func (s *FileStore) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	return s.compactLocked()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.compactUnderWmu()
 }
 
-func (s *FileStore) compactLocked() error {
+// compactUnderWmu rewrites the log. The caller holds wmu, so no writer
+// can move the index or the append offset; mu is taken only to
+// snapshot the index and for the final swap, so Gets keep being served
+// from the old log for the whole rewrite.
+func (s *FileStore) compactUnderWmu() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	f := s.f
+	// Deterministic record order (by key) so compacted logs are
+	// byte-comparable across replicas holding the same entries.
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	snapshot := make(map[string]indexEntry, len(s.index))
+	for k, e := range s.index {
+		snapshot[k] = e
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+
 	tmpPath := filepath.Join(s.dir, logName+".compact")
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -308,20 +382,12 @@ func (s *FileStore) compactLocked() error {
 	}
 	defer os.Remove(tmpPath) // no-op after a successful rename
 
-	// Deterministic record order (by key) so compacted logs are
-	// byte-comparable across replicas holding the same entries.
-	keys := make([]string, 0, len(s.index))
-	for k := range s.index {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	newIndex := make(map[string]indexEntry, len(s.index))
+	newIndex := make(map[string]indexEntry, len(snapshot))
 	var off int64
 	for _, key := range keys {
-		e := s.index[key]
+		e := snapshot[key]
 		payload := make([]byte, e.payloadLen)
-		if _, err := s.f.ReadAt(payload, e.payloadOff); err != nil {
+		if _, err := f.ReadAt(payload, e.payloadOff); err != nil {
 			tmp.Close()
 			return fmt.Errorf("cachestore: compact read: %w", err)
 		}
@@ -341,6 +407,14 @@ func (s *FileStore) compactLocked() error {
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cachestore: compact fsync: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// Closed mid-rewrite: abandon the temp file, the old log stands.
+		tmp.Close()
+		return ErrClosed
 	}
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
 		tmp.Close()
@@ -363,30 +437,30 @@ func (s *FileStore) compactLocked() error {
 
 // Len implements Store.
 func (s *FileStore) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.index)
 }
 
 // Bytes implements Store.
 func (s *FileStore) Bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.live
 }
 
 // DeadBytes reports bytes held by overwritten or unreadable records —
 // what a Compact would reclaim. Observability only.
 func (s *FileStore) DeadBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.dead
 }
 
 // Keys implements Store.
 func (s *FileStore) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.index))
 	for k := range s.index {
 		out = append(out, k)
@@ -394,15 +468,23 @@ func (s *FileStore) Keys() []string {
 	return out
 }
 
-// Close implements Store.
+// Close implements Store. It waits for any in-flight append or
+// compaction (wmu) so the log is never torn by the close, then
+// releases the directory lock.
 func (s *FileStore) Close() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	return s.f.Close()
+	err := s.f.Close()
+	if s.lock != nil {
+		s.lock.Close() // releases the flock
+	}
+	return err
 }
 
 var _ Store = (*FileStore)(nil)

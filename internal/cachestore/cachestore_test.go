@@ -51,15 +51,26 @@ func testResult(t testing.TB) (*tensat.Result, []string) {
 	}, []string{"x", "w"}
 }
 
+// testParts is the cache-identity stand-in codec tests embed.
+var testParts = KeyParts{
+	Fingerprint:   "fp-abc123",
+	Options:       "20000|15|1|0|0|0|0|0|120000000000|",
+	RuleSetHash:   "rh-deadbeef",
+	CostModelHash: "ch-cafef00d",
+}
+
 func TestCodecRoundTrip(t *testing.T) {
 	res, tensors := testResult(t)
-	payload, err := Encode(res, tensors)
+	payload, err := Encode(res, tensors, testParts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, gotTensors, err := Decode(payload)
+	got, gotTensors, gotParts, err := Decode(payload)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if gotParts != testParts {
+		t.Fatalf("key parts round trip:\n got %+v\nwant %+v", gotParts, testParts)
 	}
 	wantText, _ := res.Graph.MarshalText()
 	gotText, _ := got.Graph.MarshalText()
@@ -79,21 +90,28 @@ func TestCodecRoundTrip(t *testing.T) {
 
 func TestDecodeRejectsOtherSchemas(t *testing.T) {
 	res, tensors := testResult(t)
-	payload, err := Encode(res, tensors)
+	payload, err := Encode(res, tensors, testParts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	future := append([]byte(nil), payload...)
 	binary.LittleEndian.PutUint16(future[:2], CodecVersion+1)
-	if _, _, err := Decode(future); !errors.Is(err, ErrSchema) {
+	if _, _, _, err := Decode(future); !errors.Is(err, ErrSchema) {
 		t.Fatalf("future schema: err = %v, want ErrSchema", err)
 	}
+	// v1 records (pre key-parts) must also decode as ErrSchema — the
+	// serve layer treats them as cache misses and overwrites them.
+	old := append([]byte(nil), payload...)
+	binary.LittleEndian.PutUint16(old[:2], CodecVersion-1)
+	if _, _, _, err := Decode(old); !errors.Is(err, ErrSchema) {
+		t.Fatalf("previous schema: err = %v, want ErrSchema", err)
+	}
 	for _, cut := range []int{1, 3, 10, len(payload) - 1} {
-		if _, _, err := Decode(payload[:cut]); !errors.Is(err, ErrCorrupt) {
+		if _, _, _, err := Decode(payload[:cut]); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
 		}
 	}
-	if _, _, err := Decode(append(append([]byte(nil), payload...), 0)); !errors.Is(err, ErrCorrupt) {
+	if _, _, _, err := Decode(append(append([]byte(nil), payload...), 0)); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("trailing bytes: err = %v, want ErrCorrupt", err)
 	}
 }
@@ -280,9 +298,41 @@ func TestAutoCompactTriggers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if dead := s.DeadBytes(); dead > 2*1024 {
-		t.Fatalf("auto-compaction never ran: %d dead bytes", dead)
+	// Compaction runs on a background goroutine; poll until it lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if dead := s.DeadBytes(); dead <= 2*1024 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-compaction never ran: %d dead bytes", s.DeadBytes())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
+	if p, ok, err := s.Get("k"); err != nil || !ok || !bytes.Equal(p, payload) {
+		t.Fatalf("latest value lost by auto-compaction: %v %v", ok, err)
+	}
+}
+
+func TestOpenRefusesLockedDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open of a live store directory succeeded")
+	}
+	// Releasing the lock (Close) makes the directory usable again.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
 }
 
 func TestStoreConcurrentAccess(t *testing.T) {

@@ -15,7 +15,27 @@ import (
 // the front of every payload; Decode refuses payloads from other
 // schema generations with ErrSchema so callers treat them as misses
 // instead of misreading fields.
-const CodecVersion = 1
+//
+// Version history: v1 carried result+tensors only; v2 adds the
+// KeyParts block so receivers of a record (the peer PUT surface in
+// particular) can re-derive the cache key and verify it matches the
+// key the record claims to answer.
+const CodecVersion = 2
+
+// KeyParts are the components the cache key is derived from: the
+// request graph's canonical fingerprint, the canonical encoding of the
+// effective option knobs, and the content hashes of the resolved
+// rule-set and cost-model profiles. They ride inside every encoded
+// record so a node handed a record for key K can recompute K from the
+// record itself and reject a mislabeled one — a misconfigured (or
+// version-skewed) peer must not be able to park a valid record under
+// the wrong key.
+type KeyParts struct {
+	Fingerprint   string
+	Options       string
+	RuleSetHash   string
+	CostModelHash string
+}
 
 // ErrSchema marks a payload written under a different codec version.
 var ErrSchema = errors.New("cachestore: unknown result encoding version")
@@ -31,12 +51,13 @@ const (
 	flagILPOptimal = 1 << 2
 )
 
-// Encode serializes one finished optimization result plus the tensor
-// vocabulary of the graph that produced it (serve's cachedResult pair)
-// into the versioned binary payload the store persists. The trace span
-// tree is deliberately dropped: traces are in-memory observability and
-// would dominate the record size.
-func Encode(res *tensat.Result, tensors []string) ([]byte, error) {
+// Encode serializes one finished optimization result, the tensor
+// vocabulary of the graph that produced it (serve's cachedResult
+// pair), and the cache-key derivation components into the versioned
+// binary payload the store persists. The trace span tree is
+// deliberately dropped: traces are in-memory observability and would
+// dominate the record size.
+func Encode(res *tensat.Result, tensors []string, parts KeyParts) ([]byte, error) {
 	if res == nil || res.Graph == nil {
 		return nil, fmt.Errorf("cachestore: cannot encode nil result/graph")
 	}
@@ -46,6 +67,13 @@ func Encode(res *tensat.Result, tensors []string) ([]byte, error) {
 	}
 	buf := make([]byte, 0, 256+len(graphText))
 	buf = binary.LittleEndian.AppendUint16(buf, CodecVersion)
+	for _, part := range []string{parts.Fingerprint, parts.Options, parts.RuleSetHash, parts.CostModelHash} {
+		if len(part) > math.MaxUint16 {
+			return nil, fmt.Errorf("cachestore: key component %d bytes exceeds encoding limit", len(part))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(part)))
+		buf = append(buf, part...)
+	}
 	buf = appendBytes32(buf, graphText)
 	if len(tensors) > math.MaxUint16 {
 		return nil, fmt.Errorf("cachestore: %d tensor names exceed encoding limit", len(tensors))
@@ -100,17 +128,23 @@ func Encode(res *tensat.Result, tensors []string) ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses a payload written by Encode back into the result and
-// its tensor vocabulary. Payloads from other codec versions return
-// ErrSchema; malformed payloads return ErrCorrupt.
-func Decode(payload []byte) (*tensat.Result, []string, error) {
+// Decode parses a payload written by Encode back into the result, its
+// tensor vocabulary, and the cache-key components. Payloads from other
+// codec versions return ErrSchema; malformed payloads return
+// ErrCorrupt.
+func Decode(payload []byte) (*tensat.Result, []string, KeyParts, error) {
+	var parts KeyParts
 	r := reader{buf: payload}
 	if v := r.uint16(); v != CodecVersion {
 		if r.err != nil {
-			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+			return nil, nil, parts, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 		}
-		return nil, nil, fmt.Errorf("%w: got %d, want %d", ErrSchema, v, CodecVersion)
+		return nil, nil, parts, fmt.Errorf("%w: got %d, want %d", ErrSchema, v, CodecVersion)
 	}
+	parts.Fingerprint = string(r.bytes16())
+	parts.Options = string(r.bytes16())
+	parts.RuleSetHash = string(r.bytes16())
+	parts.CostModelHash = string(r.bytes16())
 	graphText := r.bytes32()
 	nTensors := int(r.uint16())
 	tensors := make([]string, 0, nTensors)
@@ -150,17 +184,17 @@ func Decode(payload []byte) (*tensat.Result, []string, error) {
 	res.ILP.PresolveRemoved = r.count()
 	res.ILP.PresolveRatio = r.float64()
 	if r.err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		return nil, nil, parts, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 	}
 	if len(r.buf) != r.off {
-		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+		return nil, nil, parts, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
 	}
 	g, err := tensor.UnmarshalGraph(graphText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: embedded graph: %v", ErrCorrupt, err)
+		return nil, nil, parts, fmt.Errorf("%w: embedded graph: %v", ErrCorrupt, err)
 	}
 	res.Graph = g
-	return res, tensors, nil
+	return res, tensors, parts, nil
 }
 
 func appendBytes32(buf, b []byte) []byte {

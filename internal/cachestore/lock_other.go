@@ -1,0 +1,10 @@
+//go:build !unix
+
+package cachestore
+
+import "os"
+
+// lockExclusive is a no-op where flock is unavailable: single-process
+// use stays safe, and the unix builds — everything the daemon actually
+// deploys on — get the real advisory lock.
+func lockExclusive(*os.File) error { return nil }

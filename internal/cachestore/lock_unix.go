@@ -1,0 +1,16 @@
+//go:build unix
+
+package cachestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockExclusive takes a non-blocking exclusive advisory lock on f. It
+// fails immediately when another process holds the lock — the caller
+// turns that into a loud Open error instead of letting two daemons
+// interleave appends on one log.
+func lockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

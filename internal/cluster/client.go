@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -11,21 +13,33 @@ import (
 	"time"
 )
 
-// Loop-prevention headers on the internal peer surface. Every peer
-// request carries OriginHeader naming the sending node; a receiving
-// node that finds its own name there (a peer list pointing a node at
-// itself, or a proxy bouncing the request back) answers 508 instead of
-// serving. The peer cache endpoints additionally never fan out — they
-// answer strictly from local tiers — so routing loops are impossible
-// by construction; the header catches the misconfiguration early and
+// Headers on the internal peer surface. Every peer request carries
+// AuthHeader with the fleet's shared secret — the peer endpoints share
+// the client listener, so without a credential any network client
+// could read cached results (bypassing tenant auth) or poison the
+// fleet's warm set with crafted records; receivers verify it in
+// constant time and answer 401 otherwise. Every request also carries
+// OriginHeader naming the sending node; a receiving node that finds
+// its own name there (a peer list pointing a node at itself, or a
+// proxy bouncing the request back) answers 508 instead of serving.
+// The peer cache endpoints additionally never fan out — they answer
+// strictly from local tiers — so routing loops are impossible by
+// construction; the header catches the misconfiguration early and
 // loudly.
 const (
+	// AuthHeader carries the fleet's shared cluster secret.
+	AuthHeader = "X-Tensat-Peer-Auth"
 	// OriginHeader names the node a peer request originated from.
 	OriginHeader = "X-Tensat-Peer-Origin"
 	// PeerPath is the internal cache surface prefix; the cache key is
 	// the final path element.
 	PeerPath = "/v1/peer/cache/"
 )
+
+// MinSecretLen is the shortest accepted cluster secret. The secret is
+// the only thing between the open network and the fleet's cache
+// surface, so a trivially guessable one is a configuration error.
+const MinSecretLen = 16
 
 // ErrLoop reports a peer request that arrived back at its origin.
 var ErrLoop = errors.New("cluster: peer request looped back to origin")
@@ -45,6 +59,12 @@ type Config struct {
 	// Peers is the full static fleet membership, Self included (it is
 	// added if absent). Order does not matter.
 	Peers []string
+	// Secret authenticates node-to-node traffic: every peer request
+	// carries it in AuthHeader, and every node rejects peer requests
+	// that do not present it. Required (at least MinSecretLen bytes) —
+	// the peer surface shares the client listener, so an unsecured
+	// fleet would let any network client read or poison the cache.
+	Secret string
 	// VirtualNodes tunes the ring (0 = DefaultVirtualNodes).
 	VirtualNodes int
 	// Timeout bounds each peer request (0 = DefaultTimeout).
@@ -60,18 +80,24 @@ type Config struct {
 // Client fetches and pushes encoded cache records across the fleet.
 // All methods are safe for concurrent use.
 type Client struct {
-	self    string
-	ring    *Ring
-	baseURL func(node string) string
-	http    *http.Client
+	self       string
+	ring       *Ring
+	baseURL    func(node string) string
+	http       *http.Client
+	secret     string
+	secretHash [sha256.Size]byte
 }
 
-// New validates cfg and builds a Client. It fails when Self is empty
-// or the fleet has no members besides the implicit Self — a
-// single-node "cluster" should simply not configure one.
+// New validates cfg and builds a Client. It fails when Self is empty,
+// when the shared Secret is missing or too short, or when the fleet
+// has no members besides the implicit Self — a single-node "cluster"
+// should simply not configure one.
 func New(cfg Config) (*Client, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: Self must name this node")
+	}
+	if len(cfg.Secret) < MinSecretLen {
+		return nil, fmt.Errorf("cluster: Secret must be at least %d bytes (got %d) — the shared fleet secret is what keeps the peer cache surface off-limits to clients", MinSecretLen, len(cfg.Secret))
 	}
 	nodes := append([]string(nil), cfg.Peers...)
 	found := false
@@ -97,9 +123,11 @@ func New(cfg Config) (*Client, error) {
 		base = func(node string) string { return "http://" + node }
 	}
 	return &Client{
-		self:    cfg.Self,
-		ring:    ring,
-		baseURL: base,
+		self:       cfg.Self,
+		ring:       ring,
+		baseURL:    base,
+		secret:     cfg.Secret,
+		secretHash: sha256.Sum256([]byte(cfg.Secret)),
 		http: &http.Client{
 			Timeout:   timeout,
 			Transport: cfg.Transport,
@@ -109,6 +137,15 @@ func New(cfg Config) (*Client, error) {
 
 // Self returns this node's name.
 func (c *Client) Self() string { return c.self }
+
+// Authorize reports whether a presented AuthHeader value matches the
+// fleet secret. The comparison runs over fixed-size digests in
+// constant time, so neither the secret's length nor its contents leak
+// through response timing.
+func (c *Client) Authorize(presented string) bool {
+	h := sha256.Sum256([]byte(presented))
+	return subtle.ConstantTimeCompare(h[:], c.secretHash[:]) == 1
+}
 
 // Nodes returns the fleet membership, sorted.
 func (c *Client) Nodes() []string { return c.ring.Nodes() }
@@ -137,6 +174,7 @@ func (c *Client) Fetch(ctx context.Context, key string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	req.Header.Set(AuthHeader, c.secret)
 	req.Header.Set(OriginHeader, c.self)
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -174,6 +212,7 @@ func (c *Client) Push(ctx context.Context, key string, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
+	req.Header.Set(AuthHeader, c.secret)
 	req.Header.Set(OriginHeader, c.self)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.http.Do(req)

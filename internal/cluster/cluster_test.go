@@ -65,19 +65,31 @@ func TestRingEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// testSecret is the shared peer-auth secret the client tests run with.
+const testSecret = "cluster-test-secret-0123456789"
+
 func TestClientValidation(t *testing.T) {
-	if _, err := New(Config{Peers: []string{"a"}}); err == nil {
+	if _, err := New(Config{Peers: []string{"a"}, Secret: testSecret}); err == nil {
 		t.Fatal("missing Self accepted")
 	}
-	if _, err := New(Config{Self: "a", Peers: []string{"a"}}); err == nil {
+	if _, err := New(Config{Self: "a", Peers: []string{"a"}, Secret: testSecret}); err == nil {
 		t.Fatal("single-node cluster accepted")
 	}
-	c, err := New(Config{Self: "a", Peers: []string{"b"}}) // self added implicitly
+	if _, err := New(Config{Self: "a", Peers: []string{"b"}}); err == nil {
+		t.Fatal("missing cluster secret accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []string{"b"}, Secret: "short"}); err == nil {
+		t.Fatal("undersized cluster secret accepted")
+	}
+	c, err := New(Config{Self: "a", Peers: []string{"b"}, Secret: testSecret}) // self added implicitly
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Nodes(); len(got) != 2 {
 		t.Fatalf("nodes = %v", got)
+	}
+	if c.Authorize("") || c.Authorize("short") || !c.Authorize(testSecret) {
+		t.Fatal("Authorize does not match the configured secret exactly")
 	}
 }
 
@@ -88,6 +100,12 @@ func testPeer(t *testing.T, self string, records map[string][]byte) (*httptest.S
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !strings.HasPrefix(r.URL.Path, PeerPath) {
 			http.NotFound(w, r)
+			return
+		}
+		// The fake owner enforces what the real peer surface does:
+		// every node-to-node request must carry the shared secret.
+		if r.Header.Get(AuthHeader) != testSecret {
+			w.WriteHeader(http.StatusUnauthorized)
 			return
 		}
 		if r.Header.Get(OriginHeader) == self {
@@ -122,6 +140,7 @@ func twoNodeClient(t *testing.T, peerURL string, timeout time.Duration) *Client 
 		Peers:   []string{"self", "peer"},
 		Timeout: timeout,
 		BaseURL: func(node string) string { return peerURL },
+		Secret:  testSecret,
 	})
 	if err != nil {
 		t.Fatal(err)

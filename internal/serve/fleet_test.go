@@ -183,10 +183,14 @@ func TestRestartToleratesStaleSchemaAndCorruptTail(t *testing.T) {
 	}
 	if payload, ok, err := st2.Get(q2.key); err != nil || !ok {
 		t.Fatalf("recomputed record not rewritten: ok=%v err=%v", ok, err)
-	} else if _, _, derr := cachestore.Decode(payload); derr != nil {
+	} else if _, _, _, derr := cachestore.Decode(payload); derr != nil {
 		t.Fatalf("rewritten record still unreadable: %v", derr)
 	}
 }
+
+// testClusterSecret is the shared peer-auth secret every in-process
+// fleet member presents (and requires) in these tests.
+const testClusterSecret = "fleet-test-secret-0123456789"
 
 // clusterClient builds a fleet member over the fixed {"a", "b"}
 // membership, resolving node names through a BaseURL map the test
@@ -198,6 +202,7 @@ func clusterClient(t testing.TB, self string, baseURL map[string]string) *cluste
 		Peers:   []string{"a", "b"},
 		Timeout: 5 * time.Second,
 		BaseURL: func(node string) string { return baseURL[node] },
+		Secret:  testClusterSecret,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -324,12 +329,13 @@ func TestTwoNodeClusterServesPeerWarmSet(t *testing.T) {
 		t.Fatalf("optimize ran %d times across the fleet, want 1", n)
 	}
 
-	// Loop prevention: a peer request claiming to originate from B
-	// itself must be refused with 508, not served.
+	// Loop prevention: an authenticated peer request claiming to
+	// originate from B itself must be refused with 508, not served.
 	req, err := http.NewRequest(http.MethodGet, tsB2.URL+cluster.PeerPath+"anykey", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	req.Header.Set(cluster.AuthHeader, testClusterSecret)
 	req.Header.Set(cluster.OriginHeader, "b")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -338,6 +344,148 @@ func TestTwoNodeClusterServesPeerWarmSet(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusLoopDetected {
 		t.Fatalf("looped peer request answered %d, want 508", resp.StatusCode)
+	}
+}
+
+// TestPeerSurfaceRequiresClusterSecret: the peer surface shares the
+// client listener, so without the fleet's shared secret it must refuse
+// both reads (cache disclosure) and writes (cache poisoning) — even
+// for callers holding a valid *tenant* API key.
+func TestPeerSurfaceRequiresClusterSecret(t *testing.T) {
+	reg, err := tenant.Parse([]byte(shedTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL := map[string]string{}
+	s := New(Config{Workers: 2, Cluster: clusterClient(t, "a", baseURL), Tenants: reg})
+	s.optimize = func(ctx context.Context, g *tensat.Graph, o tensat.Options) (*tensat.Result, error) {
+		return stubResult(t), nil
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	baseURL["a"] = ts.URL
+
+	do := func(method string, hdr map[string]string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+cluster.PeerPath+"somekey", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	for _, method := range []string{http.MethodGet, http.MethodPut} {
+		for _, hdr := range []map[string]string{
+			nil,
+			{cluster.AuthHeader: "wrong-secret-with-enough-bytes"},
+			{"Authorization": "Bearer batch-key-1"}, // tenant key is not a cluster secret
+		} {
+			status, body := do(method, hdr)
+			if status != http.StatusUnauthorized {
+				t.Fatalf("%s with %v: status %d, want 401", method, hdr, status)
+			}
+			var er errorReply
+			if err := json.Unmarshal([]byte(body), &er); err != nil || er.Code != "peer_unauthorized" {
+				t.Fatalf("%s with %v: body %q, want code peer_unauthorized", method, hdr, body)
+			}
+		}
+	}
+	// The real secret gets through to the handler (a miss, not a 401).
+	if status, _ := do(http.MethodGet, map[string]string{cluster.AuthHeader: testClusterSecret}); status != http.StatusNotFound {
+		t.Fatalf("authenticated peer GET of unknown key: status %d, want 404", status)
+	}
+}
+
+// TestPeerPutValidatesOwnershipAndKey: an authenticated PUT is still
+// refused when this node does not own the key (421) or when the
+// record's embedded identity does not derive the key it was pushed
+// under (400 key_mismatch) — a peer cannot park records under foreign
+// or fabricated keys.
+func TestPeerPutValidatesOwnershipAndKey(t *testing.T) {
+	baseURL := map[string]string{}
+	s := New(Config{Workers: 2, Cluster: clusterClient(t, "a", baseURL)})
+	res := stubResult(t)
+	s.optimize = func(ctx context.Context, g *tensat.Graph, o tensat.Options) (*tensat.Result, error) {
+		return res, nil
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	baseURL["a"] = ts.URL
+
+	// Derive one key node "a" owns and one it does not.
+	var ownedQ, foreignQ request
+	var haveOwned, haveForeign bool
+	for seed := 1; !(haveOwned && haveForeign); seed++ {
+		q, err := s.prepare(testGraph(t, seed), RequestOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, local := s.cfg.Cluster.Owner(q.key); local {
+			ownedQ, haveOwned = q, true
+		} else {
+			foreignQ, haveForeign = q, true
+		}
+		if seed > 64 {
+			t.Fatal("ring degenerate: one node owns every key")
+		}
+	}
+	payloadFor := func(q request) []byte {
+		t.Helper()
+		p, err := cachestore.Encode(res, q.names, q.keyParts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	put := func(key string, payload []byte) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+cluster.PeerPath+key, bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.AuthHeader, testClusterSecret)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// A key another node owns is misdirected, whatever the payload.
+	if status, body := put(foreignQ.key, payloadFor(foreignQ)); status != http.StatusMisdirectedRequest {
+		t.Fatalf("PUT of foreign key: status %d (%s), want 421", status, body)
+	}
+	// A record whose embedded identity derives a different key is
+	// refused even under a key this node owns.
+	status, body := put(ownedQ.key, payloadFor(foreignQ))
+	if status != http.StatusBadRequest {
+		t.Fatalf("mis-keyed PUT: status %d (%s), want 400", status, body)
+	}
+	var er errorReply
+	if err := json.Unmarshal([]byte(body), &er); err != nil || er.Code != "key_mismatch" {
+		t.Fatalf("mis-keyed PUT body %q, want code key_mismatch", body)
+	}
+	if _, ok := s.cache.get(ownedQ.key); ok {
+		t.Fatal("rejected record reached the cache")
+	}
+	// The well-formed record for the owned key is accepted.
+	if status, body := put(ownedQ.key, payloadFor(ownedQ)); status != http.StatusNoContent {
+		t.Fatalf("valid PUT: status %d (%s), want 204", status, body)
+	}
+	if _, ok := s.cache.get(ownedQ.key); !ok {
+		t.Fatal("accepted record did not reach the cache")
 	}
 }
 

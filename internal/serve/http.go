@@ -360,8 +360,10 @@ func NewHandler(s *Service) http.Handler {
 		handleHealthz(w)
 	})
 	// Internal fleet surface: peers fetch records they own and push cold
-	// results to their owners. Never authenticated (node-to-node, not
-	// client traffic) and never fanning out (loop prevention by
+	// results to their owners. Exempt from tenant (client) auth but
+	// guarded by the cluster's shared secret — peerPreamble rejects any
+	// request without it, so clients on the same listener cannot read or
+	// poison the cache. Never fanning out (loop prevention by
 	// construction; the origin header catches misconfiguration).
 	mux.HandleFunc("GET /v1/peer/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
 		handlePeerGet(s, w, r)
@@ -386,9 +388,10 @@ func tenantFrom(ctx context.Context) *tenant.Tenant {
 	return tn
 }
 
-// authExempt lists the paths that stay open when tenant auth is on:
-// probes and scrapers (healthz, metrics), build identification,
-// profile discovery, and the node-to-node peer surface.
+// authExempt lists the paths that skip *tenant* auth: probes and
+// scrapers (healthz, metrics), build identification, profile
+// discovery, and the node-to-node peer surface — which carries its own
+// cluster-secret authentication in peerPreamble instead.
 func authExempt(path string) bool {
 	switch path {
 	case "/healthz", "/v1/healthz", "/metrics", "/v1/version",
@@ -439,11 +442,19 @@ func requireTenant(s *Service, next http.Handler) http.Handler {
 const maxPeerPayload = 1 << 30
 
 // peerPreamble runs the shared peer-surface checks: the tier must be
-// configured, and a request whose origin header names this node is a
-// routing loop (508), never served.
+// configured, the caller must present the cluster's shared secret
+// (401 otherwise — the peer surface shares the client listener, and
+// tenant auth exempts it, so this is its only gate), and a request
+// whose origin header names this node is a routing loop (508), never
+// served.
 func peerPreamble(s *Service, w http.ResponseWriter, r *http.Request) bool {
 	if s.cfg.Cluster == nil {
 		writeError(w, http.StatusNotFound, "no_cluster", "this node is not part of a cluster", 0)
+		return false
+	}
+	if !s.cfg.Cluster.Authorize(r.Header.Get(cluster.AuthHeader)) {
+		writeError(w, http.StatusUnauthorized, "peer_unauthorized",
+			"missing or invalid cluster secret ("+cluster.AuthHeader+" header)", 0)
 		return false
 	}
 	if origin := r.Header.Get(cluster.OriginHeader); origin != "" && origin == s.cfg.Cluster.Self() {
@@ -470,7 +481,7 @@ func handlePeerGet(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	if payload == nil {
 		if entry, ok := s.cache.get(key); ok {
-			if p, err := cachestore.Encode(entry.res, entry.tensors); err == nil {
+			if p, err := cachestore.Encode(entry.res, entry.tensors, entry.parts); err == nil {
 				payload = p
 			}
 		}
@@ -485,13 +496,22 @@ func handlePeerGet(s *Service, w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePeerPut accepts a pushed record for a key this node owns. The
-// payload is decoded before acceptance — a peer cannot poison the
-// store with bytes this node could not serve back.
+// payload is decoded before acceptance, and the record's embedded key
+// components must re-derive the key it was pushed under — a peer
+// cannot poison the store with bytes this node could not serve back,
+// nor park a valid record under the wrong key.
 func handlePeerPut(s *Service, w http.ResponseWriter, r *http.Request) {
 	if !peerPreamble(s, w, r) {
 		return
 	}
 	key := r.PathValue("key")
+	if _, local := s.cfg.Cluster.Owner(key); !local {
+		// A correctly configured peer only pushes keys this node owns;
+		// accepting others would let ring disagreements scatter records.
+		writeError(w, http.StatusMisdirectedRequest, "not_owner",
+			"this node does not own the key — check the -peers/-self configuration", 0)
+		return
+	}
 	payload, err := io.ReadAll(io.LimitReader(r.Body, maxPeerPayload+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_payload", "reading record: "+err.Error(), 0)
@@ -501,12 +521,17 @@ func handlePeerPut(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "bad_payload", "record exceeds frame limit", 0)
 		return
 	}
-	res, tensors, err := cachestore.Decode(payload)
+	res, tensors, parts, err := cachestore.Decode(payload)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_payload", "undecodable record: "+err.Error(), 0)
 		return
 	}
-	s.cache.add(key, &cachedResult{res: res, tensors: tensors}, int64(len(payload)))
+	if keyFromParts(parts) != key {
+		writeError(w, http.StatusBadRequest, "key_mismatch",
+			"record's embedded identity does not derive the pushed key", 0)
+		return
+	}
+	s.cache.add(key, &cachedResult{res: res, tensors: tensors, parts: parts}, int64(len(payload)))
 	if st := s.cfg.Store; st != nil {
 		if err := st.Put(key, payload); err != nil {
 			s.stats.storeError()

@@ -492,7 +492,7 @@ func (s *Service) runJob(ctx context.Context, job *Job, q request, g *tensat.Gra
 	c, leader := s.flight.join(runKey)
 	if leader {
 		c.tensors = q.names // published to followers by close(c.done)
-		go s.run(runKey, c, g, runOpts, prio, degraded)
+		go s.run(runKey, q.keyParts(), c, g, runOpts, prio, degraded)
 	} else {
 		s.stats.dedup()
 	}

@@ -355,11 +355,15 @@ func (s *Service) resolveProfile(o *tensat.Options) (profile, error) {
 	return p, nil
 }
 
-// requestKey derives the cache/singleflight key: graph fingerprint,
-// effective scalar knobs, and the profile content hashes, folded
-// through fingerprint.Key so no component can collide into another.
-func requestKey(fp string, opts tensat.Options, prof profile) string {
-	return fingerprint.Key(fp, optionsKey(opts), prof.ruleSetHash, prof.costModelHash)
+// keyFromParts derives the cache/singleflight key from its components
+// — graph fingerprint, effective scalar knobs, and the profile content
+// hashes — folded through fingerprint.Key so no component can collide
+// into another. It is the single key derivation: requests key their
+// own parts through it, and the peer PUT handler re-derives the key
+// from a pushed record's embedded parts to verify the record actually
+// answers the key it was pushed under.
+func keyFromParts(p cachestore.KeyParts) string {
+	return fingerprint.Key(p.Fingerprint, p.Options, p.RuleSetHash, p.CostModelHash)
 }
 
 // optionsKey canonically encodes the *effective* (post-apply) knobs
@@ -404,10 +408,12 @@ func optionsKey(o tensat.Options) string {
 // cachedResult is a finished optimization plus the tensor vocabulary
 // of the graph that produced it (canonical first-occurrence order), so
 // later structurally identical requests can receive the result spelled
-// in their own input/weight names.
+// in their own input/weight names, plus the key components the record
+// is encoded with so persisted and pushed copies stay self-describing.
 type cachedResult struct {
 	res     *tensat.Result
 	tensors []string
+	parts   cachestore.KeyParts
 }
 
 // inVocabulary translates the cached result into the requester's
@@ -490,6 +496,18 @@ type request struct {
 	key   string
 }
 
+// keyParts is the request's cache identity broken into the components
+// keyFromParts folds together; encoded records embed them so any
+// receiver can re-derive and verify the key.
+func (q request) keyParts() cachestore.KeyParts {
+	return cachestore.KeyParts{
+		Fingerprint:   q.fp,
+		Options:       optionsKey(q.opts),
+		RuleSetHash:   q.prof.ruleSetHash,
+		CostModelHash: q.prof.costModelHash,
+	}
+}
+
 // prepare validates ro against the service configuration and computes
 // the request's cache identity — the shared head of the synchronous
 // and asynchronous submission paths.
@@ -508,7 +526,7 @@ func (s *Service) prepare(g *tensat.Graph, ro RequestOptions) (request, error) {
 	if q.names, err = fingerprint.Tensors(g); err != nil {
 		return q, err
 	}
-	q.key = requestKey(q.fp, q.opts, q.prof)
+	q.key = keyFromParts(q.keyParts())
 	return q, nil
 }
 
@@ -556,14 +574,20 @@ func (s *Service) lookup(ctx context.Context, key string) (*cachedResult, string
 			s.stats.storeError()
 			s.log.Warn("result store read failed", "key", key, "error", err)
 		case ok:
-			res, tensors, derr := cachestore.Decode(payload)
-			if derr != nil {
+			res, tensors, parts, derr := cachestore.Decode(payload)
+			switch {
+			case derr != nil:
 				// A stale-schema or corrupt record is a miss — the run
 				// recomputes and overwrites it — never a request failure.
 				s.stats.storeError()
 				s.log.Warn("result store record unreadable", "key", key, "error", derr)
-			} else {
-				entry := &cachedResult{res: res, tensors: tensors}
+			case keyFromParts(parts) != key:
+				// A record whose embedded identity doesn't derive its key
+				// answers some other request; treat it as corrupt.
+				s.stats.storeError()
+				s.log.Warn("result store record key mismatch", "key", key)
+			default:
+				entry := &cachedResult{res: res, tensors: tensors, parts: parts}
 				s.cache.add(key, entry, int64(len(payload)))
 				s.stats.storeHit()
 				return entry, TierDisk, true
@@ -577,15 +601,17 @@ func (s *Service) lookup(ctx context.Context, key string) (*cachedResult, string
 			payload, err := cl.Fetch(ctx, key)
 			switch {
 			case err == nil:
-				res, tensors, derr := cachestore.Decode(payload)
-				if derr == nil {
-					entry := &cachedResult{res: res, tensors: tensors}
+				res, tensors, parts, derr := cachestore.Decode(payload)
+				if derr == nil && keyFromParts(parts) == key {
+					entry := &cachedResult{res: res, tensors: tensors, parts: parts}
 					s.cache.add(key, entry, int64(len(payload)))
 					s.stats.peerHit()
 					return entry, TierPeer, true
 				}
+				// Unreadable or mis-keyed peer records (version skew, a
+				// misconfigured ring) are peer faults, never hits.
 				s.stats.peerError()
-				s.log.Warn("peer record unreadable", "key", key, "peer", owner, "error", derr)
+				s.log.Warn("peer record unreadable or mis-keyed", "key", key, "peer", owner, "error", derr)
 			case errors.Is(err, cluster.ErrNotFound):
 				s.stats.peerMiss()
 			case errors.Is(err, context.Canceled):
@@ -608,7 +634,7 @@ func (s *Service) cacheResult(key string, entry *cachedResult) {
 	var payload []byte
 	if s.cfg.Store != nil || s.cfg.Cluster != nil || s.cfg.CacheMaxBytes > 0 {
 		var err error
-		payload, err = cachestore.Encode(entry.res, entry.tensors)
+		payload, err = cachestore.Encode(entry.res, entry.tensors, entry.parts)
 		if err != nil {
 			s.log.Warn("encoding result for persistence", "key", key, "error", err)
 			payload = nil
@@ -692,7 +718,7 @@ func (s *Service) OptimizeAs(ctx context.Context, g *tensat.Graph, ro RequestOpt
 	c, leader := s.flight.join(runKey)
 	if leader {
 		c.tensors = q.names // published to followers by close(c.done)
-		go s.run(runKey, c, g, runOpts, prio, degraded)
+		go s.run(runKey, q.keyParts(), c, g, runOpts, prio, degraded)
 	} else {
 		s.stats.dedup()
 	}
@@ -716,8 +742,9 @@ func (s *Service) OptimizeAs(ctx context.Context, g *tensat.Graph, ro RequestOpt
 }
 
 // run executes one deduplicated optimization on the worker pool under
-// the flight call's reference-counted context.
-func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Options, prio int, degraded bool) {
+// the flight call's reference-counted context. parts is the request's
+// cache identity, embedded in the persisted/pushed record.
+func (s *Service) run(key string, parts cachestore.KeyParts, c *flightCall, g *tensat.Graph, opts tensat.Options, prio int, degraded bool) {
 	// Live progress flows into the flight's shared log, where every
 	// waiter — async jobs in particular — can pump it out. Neither the
 	// sink nor the trace switch is part of the cache key (see
@@ -756,7 +783,7 @@ func (s *Service) run(key string, c *flightCall, g *tensat.Graph, opts tensat.Op
 	// A degraded (load-shed) run is never cached or pushed at all: its
 	// greedy-only answer must not masquerade as the key's optimal.
 	if err == nil && !degraded && !res.Canceled && !(res.Truncated && opts.ExploreTimeout == 0) {
-		s.cacheResult(key, &cachedResult{res: res, tensors: c.tensors})
+		s.cacheResult(key, &cachedResult{res: res, tensors: c.tensors, parts: parts})
 	}
 	s.flight.finish(key, c, res, err)
 }

@@ -16,6 +16,7 @@ package tenant
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -106,11 +107,22 @@ type state struct {
 
 // Registry holds the tenant set and its admission state. All methods
 // are safe for concurrent use.
+//
+// API keys are indexed by their SHA-256 digest, not the plaintext:
+// resolving a presented credential hashes it first, so the lookup's
+// equality comparisons run over fixed-size digests and leak no timing
+// signal about the keys' contents to unauthenticated callers probing
+// the Authorization header.
 type Registry struct {
 	mu     sync.Mutex
-	byKey  map[string]*state
+	byKey  map[[sha256.Size]byte]*state
 	byName map[string]*state
 	now    func() time.Time // injectable clock for tests
+}
+
+// hashKey digests an API key for the registry index.
+func hashKey(key string) [sha256.Size]byte {
+	return sha256.Sum256([]byte(key))
 }
 
 // Load reads and validates a tenants file.
@@ -141,7 +153,7 @@ func Parse(data []byte) (*Registry, error) {
 		return nil, fmt.Errorf("tenants file declares no tenants")
 	}
 	r := &Registry{
-		byKey:  make(map[string]*state, len(f.Tenants)),
+		byKey:  make(map[[sha256.Size]byte]*state, len(f.Tenants)),
 		byName: make(map[string]*state, len(f.Tenants)),
 		now:    time.Now,
 	}
@@ -165,12 +177,12 @@ func Parse(data []byte) (*Registry, error) {
 		if _, dup := r.byName[t.Name]; dup {
 			return nil, fmt.Errorf("duplicate tenant name %q", t.Name)
 		}
-		if _, dup := r.byKey[t.Key]; dup {
+		if _, dup := r.byKey[hashKey(t.Key)]; dup {
 			return nil, fmt.Errorf("tenant %q: key already used by another tenant", t.Name)
 		}
 		st := &state{t: t, tokens: t.burst(), last: time.Time{}}
 		r.byName[t.Name] = st
-		r.byKey[t.Key] = st
+		r.byKey[hashKey(t.Key)] = st
 	}
 	return r, nil
 }
@@ -183,11 +195,12 @@ func (r *Registry) SetClock(now func() time.Time) {
 }
 
 // Lookup resolves an API key to its tenant (a copy; quotas live in the
-// registry).
+// registry). The presented key is hashed before the index lookup; see
+// the Registry doc comment for why.
 func (r *Registry) Lookup(key string) (Tenant, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st, ok := r.byKey[key]
+	st, ok := r.byKey[hashKey(key)]
 	if !ok {
 		return Tenant{}, false
 	}
