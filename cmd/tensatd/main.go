@@ -15,6 +15,7 @@
 //	GET    /v1/version          — build/runtime identification
 //	GET    /v1/stats            — cache/latency/job/profile counters
 //	GET    /v1/healthz          — liveness probe
+//	GET    /v1/readyz           — readiness probe (503 while draining)
 //	GET    /metrics             — Prometheus text exposition
 //	POST   /optimize            — deprecated synchronous shim
 //	GET    /stats, /healthz     — deprecated pre-/v1 spellings
@@ -28,6 +29,15 @@
 // concurrency quotas and priorities — over-quota low-priority
 // requests degrade to greedy-only extraction before ever being
 // rejected. See the README's "Operating a tensatd fleet" section.
+//
+// Resilience: each peer sits behind a circuit breaker
+// (-peer-breaker-failures / -peer-breaker-cooldown) with jittered
+// retry for idempotent fetches (-peer-retries); store I/O failures
+// flip the disk tier into degraded mode while memory keeps serving;
+// SIGTERM drains gracefully — /readyz turns 503, running jobs finish
+// under -drain-timeout. -fault-spec arms deterministic fault
+// injection for chaos testing (development only, never production).
+// See the README's "Failure modes and the degradation ladder" section.
 //
 // Quick start:
 //
@@ -70,6 +80,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -77,6 +88,7 @@ import (
 	"tensat"
 	"tensat/internal/cachestore"
 	"tensat/internal/cluster"
+	"tensat/internal/fault"
 	"tensat/internal/ilp/backend"
 	"tensat/internal/rulecheck"
 	"tensat/internal/serve"
@@ -106,6 +118,11 @@ func main() {
 		self          = flag.String("self", "", "this node's own name in -peers (its advertised host:port)")
 		peerTimeout   = flag.Duration("peer-timeout", cluster.DefaultTimeout, "per-request peer cache timeout; a slower peer is treated as a miss")
 		peerSecret    = flag.String("cluster-secret-file", "", "file holding the fleet's shared peer-auth secret (>= 16 bytes after trimming whitespace); required with -peers, must match on every node")
+		breakerFails  = flag.Int("peer-breaker-failures", 0, "consecutive failures that trip a peer's circuit breaker (0 = default "+strconv.Itoa(cluster.DefaultBreakerThreshold)+")")
+		breakerCool   = flag.Duration("peer-breaker-cooldown", 0, "how long a tripped breaker shuns its peer before a half-open probe (0 = default "+cluster.DefaultBreakerCooldown.String()+")")
+		peerRetries   = flag.Int("peer-retries", 0, "retry attempts for idempotent peer fetches, with jittered exponential backoff (negative = disabled, 0 = default "+strconv.Itoa(cluster.DefaultRetryAttempts)+")")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM/SIGINT shutdown waits for running jobs to finish before abandoning them")
+		faultSpec     = flag.String("fault-spec", "", "arm deterministic fault injection, e.g. 'store.put:enospc,peer.fetch:error:3' (development/chaos testing only — never set in production)")
 		tenantsFile   = flag.String("tenants", "", "JSON tenant registry (API keys, rate limits, concurrency quotas, priorities); empty = no auth, no quotas")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; bind to loopback)")
@@ -140,6 +157,20 @@ func main() {
 	}
 	if !backend.Valid(*ilpSolver) {
 		fatal("-ilp-solver unknown", "got", *ilpSolver, "known", strings.Join(backend.Names(), ", "))
+	}
+	if *drainTimeout < 0 {
+		fatal("-drain-timeout must be >= 0", "got", *drainTimeout)
+	}
+
+	// Fault injection arms before anything that could consult a point.
+	// The spec is for chaos drills and development; a daemon with armed
+	// faults deliberately misbehaves, so make the state unmissable.
+	if *faultSpec != "" {
+		if err := fault.ParseSpec(*faultSpec); err != nil {
+			fatal("parsing -fault-spec", "error", err)
+		}
+		logger.Warn("FAULT INJECTION ARMED — this daemon will deliberately misbehave; never use -fault-spec in production",
+			"spec", *faultSpec)
 	}
 
 	// -vet-only turns the daemon into a config checker: run the static
@@ -237,14 +268,18 @@ func main() {
 			}
 		}
 		cl, err := cluster.New(cluster.Config{
-			Self:    *self,
-			Peers:   fleet,
-			Timeout: *peerTimeout,
-			Secret:  secret,
+			Self:             *self,
+			Peers:            fleet,
+			Timeout:          *peerTimeout,
+			Secret:           secret,
+			BreakerThreshold: *breakerFails,
+			BreakerCooldown:  *breakerCool,
+			RetryAttempts:    *peerRetries,
 		})
 		if err != nil {
 			fatal("configuring peer cache tier", "error", err)
 		}
+		defer cl.Close()
 		peerClient = cl
 		logger.Info("peer cache tier configured", "self", *self, "fleet", cl.Nodes())
 	} else if *self != "" {
@@ -318,7 +353,18 @@ func main() {
 		fatal("serve", "error", err)
 	case <-ctx.Done():
 	}
-	logger.Info("shutting down")
+	// Graceful drain: flip /readyz to 503 so load balancers stop routing
+	// here, refuse new work with 503 + Retry-After, and give running
+	// jobs up to -drain-timeout to finish before closing the listener.
+	logger.Info("shutting down — draining", "timeout", *drainTimeout)
+	svc.BeginDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := svc.Drain(drainCtx); err != nil {
+		logger.Warn("drain timeout expired — abandoning unfinished jobs", "error", err)
+	} else {
+		logger.Info("drained: all running jobs finished")
+	}
+	cancelDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -36,6 +36,10 @@ var scopedPackages = map[string]bool{
 	"presolve": true,
 	"backend":  true,
 	"lpfile":   true,
+	// The resilience layers: peer requests retry with backoff and the
+	// fault package can inject sleeps — both must stay cancelable.
+	"cluster": true,
+	"fault":   true,
 }
 
 func run(pass *analysis.Pass) error {

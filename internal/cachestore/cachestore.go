@@ -33,6 +33,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"tensat/internal/fault"
 )
 
 // Store is the persistence interface serve's second cache tier talks
@@ -138,6 +140,15 @@ func Open(dir string) (*FileStore, error) {
 	if err := lockExclusive(lock); err != nil {
 		lock.Close()
 		return nil, fmt.Errorf("cachestore: store directory %s is already in use by another process: %w", dir, err)
+	}
+	// A leftover compaction temp file means a previous process died
+	// between writing the rewrite and renaming it over the log. The old
+	// log is still the authoritative copy (the rename never happened),
+	// so the orphan is pure garbage — remove it rather than letting it
+	// accumulate or confuse a later compaction.
+	if err := os.Remove(filepath.Join(dir, logName+".compact")); err != nil && !os.IsNotExist(err) {
+		lock.Close()
+		return nil, fmt.Errorf("cachestore: removing stale compaction file: %w", err)
 	}
 	path := filepath.Join(dir, logName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -257,6 +268,9 @@ func (s *FileStore) Get(key string) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	if err := fault.Check("store.get"); err != nil {
+		return nil, false, fmt.Errorf("cachestore: reading %q: %w", key, err)
+	}
 	payload := make([]byte, e.payloadLen)
 	if _, err := s.f.ReadAt(payload, e.payloadOff); err != nil {
 		return nil, false, fmt.Errorf("cachestore: reading %q: %w", key, err)
@@ -287,8 +301,14 @@ func (s *FileStore) Put(key string, payload []byte) error {
 	}
 	// With wmu held nothing else appends or swaps the log, so the
 	// reserved offset stays valid without holding mu across the IO.
+	if err := fault.Check("store.put"); err != nil {
+		return fmt.Errorf("cachestore: append: %w", err)
+	}
 	if _, err := f.WriteAt(frame, off); err != nil {
 		return fmt.Errorf("cachestore: append: %w", err)
+	}
+	if err := fault.Check("store.fsync"); err != nil {
+		return fmt.Errorf("cachestore: fsync: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("cachestore: fsync: %w", err)
@@ -415,6 +435,10 @@ func (s *FileStore) compactUnderWmu() error {
 		// Closed mid-rewrite: abandon the temp file, the old log stands.
 		tmp.Close()
 		return ErrClosed
+	}
+	if err := fault.Check("store.compact.rename"); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cachestore: compact rename: %w", err)
 	}
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
 		tmp.Close()

@@ -37,6 +37,8 @@ type ringPoint struct {
 // (DefaultVirtualNodes when vnodes <= 0). Node names are deduplicated;
 // order does not matter. An empty node set yields a ring whose Owner
 // returns "".
+//
+//lint:ctxflow-exempt one pass over the static membership list at config time
 func NewRing(nodes []string, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVirtualNodes
@@ -83,6 +85,33 @@ func (r *Ring) Owner(key string) string {
 		i = 0
 	}
 	return r.points[i].node
+}
+
+// Successors returns the first k distinct nodes encountered walking
+// the ring from key's hash: the primary owner first, then the nodes a
+// health-gated router falls over to, in order. k is clamped to the
+// member count.
+//
+//lint:ctxflow-exempt walk bounded by the ring's point array (membership x vnodes); no I/O
+func (r *Ring) Successors(key string, k int) []string {
+	if len(r.points) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, k)
+	out := make([]string, 0, k)
+	for j := 0; len(out) < k && j < len(r.points); j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
 }
 
 // Nodes returns the ring's member names, sorted.

@@ -2,11 +2,14 @@ package rewrite
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"tensat/internal/egraph"
+	"tensat/internal/fault"
 	"tensat/internal/obs"
 	"tensat/internal/pattern"
 	"tensat/internal/tensor"
@@ -310,6 +313,12 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 	r.Trace.End()
 
 	apply := func(rule *Rule, matched []egraph.ClassID, subst pattern.Subst) {
+		// Chaos hook: a fault armed at rewrite.apply models a buggy rule.
+		// Apply has no error channel, so an injected error panics too —
+		// the job-level recovery barrier is exactly what it exercises.
+		if err := fault.Check("rewrite.apply"); err != nil {
+			panic(err)
+		}
 		// Shape checking (§4) over every target pattern.
 		varMeta := func(v string) (*tensor.Meta, bool) {
 			id, ok := subst[v]
@@ -437,6 +446,19 @@ func (r *Runner) iterate(ex *Explored, cr *CompiledRules, st *searchState,
 // slot after every interested request is gone.
 const searchShardSize = 1024
 
+// workerPanic carries a panic out of a search worker goroutine to the
+// calling goroutine, preserving the worker's stack — re-panicking with
+// the raw value would otherwise report the barrier's stack instead of
+// the site that actually blew up.
+type workerPanic struct {
+	value any
+	stack []byte
+}
+
+func (p *workerPanic) String() string {
+	return fmt.Sprintf("rewrite: search worker panic: %v\n%s", p.value, p.stack)
+}
+
 // searchParallelThreshold is the minimum per-pattern work-list length
 // worth sharding across workers. Below it a pattern's candidate scan
 // runs as one work unit (still overlapping other patterns on the
@@ -559,21 +581,48 @@ func (r *Runner) searchAll(view *egraph.View, cr *CompiledRules, st *searchState
 		}
 		tasks := make(chan task)
 		var wg sync.WaitGroup
+		// A panic in a worker (a buggy matcher program) must not kill
+		// the process: the worker records the first panic with its
+		// stack and keeps draining tasks so the producer never blocks,
+		// and the panic is re-raised on the calling goroutine after the
+		// barrier — where the job-level recovery turns it into a failed
+		// job instead of a crash.
+		var panicMu sync.Mutex
+		var panicked *workerPanic
+		recordPanic := func(r any) {
+			panicMu.Lock()
+			if panicked == nil {
+				panicked = &workerPanic{value: r, stack: debug.Stack()}
+			}
+			panicMu.Unlock()
+		}
+		hasPanicked := func() bool {
+			panicMu.Lock()
+			defer panicMu.Unlock()
+			return panicked != nil
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for t := range tasks {
-					if stopped(done) {
-						continue // drain cheaply once canceled
+					if stopped(done) || hasPanicked() {
+						continue // drain cheaply once canceled or doomed
 					}
-					scan := scans[t.p]
-					lo := bounds[t.p][t.s]
-					hi := len(scan)
-					if t.s+1 < len(bounds[t.p]) {
-						hi = bounds[t.p][t.s+1]
-					}
-					results[t.p][t.s] = cr.pats[t.p].prog.AppendMatches(nil, view, scan[lo:hi])
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								recordPanic(r)
+							}
+						}()
+						scan := scans[t.p]
+						lo := bounds[t.p][t.s]
+						hi := len(scan)
+						if t.s+1 < len(bounds[t.p]) {
+							hi = bounds[t.p][t.s+1]
+						}
+						results[t.p][t.s] = cr.pats[t.p].prog.AppendMatches(nil, view, scan[lo:hi])
+					}()
 				}
 			}()
 		}
@@ -584,6 +633,9 @@ func (r *Runner) searchAll(view *egraph.View, cr *CompiledRules, st *searchState
 		}
 		close(tasks)
 		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
 		for i := range cr.pats {
 			n := 0
 			for _, ms := range results[i] {

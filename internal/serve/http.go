@@ -232,11 +232,23 @@ type StatsReply struct {
 	StorePuts    uint64 `json:"store_puts"`
 	StoreEntries int    `json:"store_entries"`
 	StoreBytes   int64  `json:"store_bytes"`
+	// StoreDegraded reports the store's current degraded mode (I/O
+	// failures; the memory tier keeps serving while it reprobes).
+	StoreDegraded bool `json:"store_degraded"`
 	// Peer cache tier (zeros when no -peers).
 	PeerHits   uint64 `json:"peer_hits"`
 	PeerMisses uint64 `json:"peer_misses"`
 	PeerErrors uint64 `json:"peer_errors"`
 	PeerPuts   uint64 `json:"peer_puts"`
+	// Peer resilience: retry attempts absorbed by backoff, async pushes
+	// dropped on a full queue, and each peer's breaker state.
+	PeerRetries     uint64            `json:"peer_retries"`
+	PeerPushDropped uint64            `json:"peer_push_dropped"`
+	PeerBreakers    map[string]string `json:"peer_breakers,omitempty"`
+	// Panics counts recovered panics by site ("optimizer", "worker",
+	// "job"); Draining reports graceful-shutdown mode.
+	Panics   map[string]uint64 `json:"panics,omitempty"`
+	Draining bool              `json:"draining"`
 	// Tenant admission control (zeros when no -tenants).
 	ShedTotal      uint64            `json:"shed_total"`
 	TenantRequests map[string]uint64 `json:"tenant_requests,omitempty"`
@@ -293,6 +305,8 @@ func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter 
 //	GET    /v1/version          — build/runtime identification
 //	GET    /v1/stats            — service counters (StatsReply)
 //	GET    /v1/healthz          — liveness probe
+//	GET    /v1/readyz           — readiness probe (503 while draining;
+//	                              also at /readyz, both auth-exempt)
 //	GET    /metrics             — Prometheus text exposition
 //
 // Deprecated surface, each answering with Deprecation/Link successor
@@ -351,6 +365,12 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		handleHealthz(w)
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		handleReadyz(s, w)
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		handleReadyz(s, w)
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		deprecated(w, "/v1/stats")
 		handleStats(s, w)
@@ -394,8 +414,8 @@ func tenantFrom(ctx context.Context) *tenant.Tenant {
 // cluster-secret authentication in peerPreamble instead.
 func authExempt(path string) bool {
 	switch path {
-	case "/healthz", "/v1/healthz", "/metrics", "/v1/version",
-		"/v1/rulesets", "/v1/costmodels":
+	case "/healthz", "/v1/healthz", "/readyz", "/v1/readyz", "/metrics",
+		"/v1/version", "/v1/rulesets", "/v1/costmodels":
 		return true
 	}
 	return strings.HasPrefix(path, cluster.PeerPath)
@@ -474,8 +494,10 @@ func handlePeerGet(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	key := r.PathValue("key")
 	var payload []byte
-	if st := s.cfg.Store; st != nil {
-		if p, ok, err := st.Get(key); err == nil && ok {
+	if st := s.store; st != nil {
+		// The guard's degraded mode reads as a miss here; the memory
+		// check below may still answer.
+		if p, ok, err := st.get(key); err == nil && ok {
 			payload = p
 		}
 	}
@@ -505,9 +527,11 @@ func handlePeerPut(s *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := r.PathValue("key")
-	if _, local := s.cfg.Cluster.Owner(key); !local {
-		// A correctly configured peer only pushes keys this node owns;
-		// accepting others would let ring disagreements scatter records.
+	if !s.cfg.Cluster.MayOwn(key) {
+		// A correctly configured peer only pushes keys this node may own
+		// — the primary owner or a fallover successor during the owner's
+		// outage. Accepting arbitrary keys would let ring disagreements
+		// scatter records across the fleet.
 		writeError(w, http.StatusMisdirectedRequest, "not_owner",
 			"this node does not own the key — check the -peers/-self configuration", 0)
 		return
@@ -532,11 +556,14 @@ func handlePeerPut(s *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.add(key, &cachedResult{res: res, tensors: tensors, parts: parts}, int64(len(payload)))
-	if st := s.cfg.Store; st != nil {
-		if err := st.Put(key, payload); err != nil {
+	if st := s.store; st != nil {
+		switch err := st.put(key, payload); {
+		case errors.Is(err, errStoreDegraded):
+			// Kept in memory only; the pusher's record is safe with them.
+		case err != nil:
 			s.stats.storeError()
 			s.log.Warn("storing pushed record failed", "key", key, "error", err)
-		} else {
+		default:
 			s.stats.storePut()
 		}
 	}
@@ -552,6 +579,14 @@ func deprecated(w http.ResponseWriter, successor string) {
 
 func handleStats(s *Service, w http.ResponseWriter) {
 	st := s.Stats()
+	var breakers map[string]string
+	if cl := s.cfg.Cluster; cl != nil {
+		states := cl.BreakerStates()
+		breakers = make(map[string]string, len(states))
+		for peer, bst := range states {
+			breakers[peer] = bst.String()
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsReply{
 		Hits:          st.Hits,
 		Misses:        st.Misses,
@@ -598,6 +633,13 @@ func handleStats(s *Service, w http.ResponseWriter) {
 		PeerErrors:   st.Peer.Errors,
 		PeerPuts:     st.Peer.Puts,
 
+		StoreDegraded:   st.StoreDegraded,
+		PeerRetries:     st.PeerRetries,
+		PeerPushDropped: st.PeerPushDropped,
+		PeerBreakers:    breakers,
+		Panics:          st.Panics,
+		Draining:        st.Draining,
+
 		ShedTotal:      st.Shed,
 		TenantRequests: st.TenantRequests,
 		TenantRejected: st.TenantRejected,
@@ -607,6 +649,46 @@ func handleStats(s *Service, w http.ResponseWriter) {
 func handleHealthz(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// ReadyzReply is the body answering GET /readyz: readiness for a load
+// balancer, distinct from /healthz liveness. A draining node answers
+// 503 so traffic shifts away while running jobs finish; a degraded
+// store or an open breaker is reported but keeps the node ready — the
+// memory tier and local compute still answer requests.
+type ReadyzReply struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// StoreDegraded reports the persistent store's degraded mode (false
+	// when no store is configured).
+	StoreDegraded bool `json:"store_degraded"`
+	// PeerBreakers maps each peer to its circuit-breaker state
+	// ("closed", "open", "half-open"); omitted outside a cluster.
+	PeerBreakers map[string]string `json:"peer_breakers,omitempty"`
+}
+
+// handleReadyz answers GET /readyz. Auth-exempt: load balancers and
+// orchestrators probe it without credentials, and it leaks nothing a
+// tenant could abuse.
+func handleReadyz(s *Service, w http.ResponseWriter) {
+	reply := ReadyzReply{Draining: s.Draining()}
+	reply.Ready = !reply.Draining
+	if s.store != nil {
+		reply.StoreDegraded = s.store.isDegraded()
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		states := cl.BreakerStates()
+		reply.PeerBreakers = make(map[string]string, len(states))
+		for peer, st := range states {
+			reply.PeerBreakers[peer] = st.String()
+		}
+	}
+	status := http.StatusOK
+	if !reply.Ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, reply)
 }
 
 // handleListJobs answers GET /v1/jobs with a summary of tracked jobs,
@@ -774,6 +856,9 @@ func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrBadOptions):
 			writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			// Shutting down: send the client to another node.
+			writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), time.Second)
 		case errors.Is(err, ErrJobStoreFull):
 			// Backpressure, not a fault: tell the client when to retry
 			// and which condition it hit.
@@ -870,6 +955,14 @@ func handleJobEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 				emit("progress", toProgressReply(p))
 			}
 			emit("done", toJobReply(job))
+			flusher.Flush()
+			return
+		case <-s.drain.channel():
+			// Graceful drain: end the stream with an explicit terminal
+			// event (the job itself keeps running to completion under the
+			// drain timeout; the client can poll it from another node or
+			// after restart).
+			emit("draining", toJobReply(job))
 			flusher.Flush()
 			return
 		case <-notify:
@@ -1038,6 +1131,18 @@ func handleOptimize(s *Service, w http.ResponseWriter, r *http.Request) {
 		var rle *RateLimitError
 		if errors.As(err, &rle) {
 			writeError(w, http.StatusTooManyRequests, "rate_limited", err.Error(), rle.RetryAfter)
+			return
+		}
+		if errors.Is(err, ErrDraining) {
+			writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), time.Second)
+			return
+		}
+		var perr *tensat.PanicError
+		if errors.As(err, &perr) {
+			// A recovered pipeline panic: a server fault with a stable
+			// code, never cached, and — by virtue of answering at all —
+			// proof the daemon survived it.
+			writeError(w, http.StatusInternalServerError, "internal_error", err.Error(), 0)
 			return
 		}
 		status := http.StatusInternalServerError

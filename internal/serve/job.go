@@ -5,6 +5,8 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -379,6 +381,16 @@ func (s *Service) SubmitJobAs(g *tensat.Graph, ro RequestOptions, timeout time.D
 	if err != nil {
 		return nil, err
 	}
+	// Drain gate: track registers the job with the drain WaitGroup (so
+	// Drain waits for it) and atomically refuses once draining has
+	// begun — a job can never start after Drain has decided what it is
+	// waiting for.
+	if !s.drain.track() {
+		if tn != nil && s.cfg.Tenants != nil {
+			s.cfg.Tenants.Release(tn.Name, degraded)
+		}
+		return nil, ErrDraining
+	}
 
 	ctx := context.Background()
 	var cancel context.CancelFunc
@@ -402,6 +414,7 @@ func (s *Service) SubmitJobAs(g *tensat.Graph, ro RequestOptions, timeout time.D
 	job.log.publish(tensat.Progress{Phase: tensat.PhaseQueued})
 	if err := s.jobs.add(job); err != nil {
 		cancel()
+		s.drain.done()
 		if job.tenant != "" {
 			s.cfg.Tenants.Release(job.tenant, job.degraded)
 		}
@@ -418,7 +431,10 @@ func (s *Service) SubmitJobAs(g *tensat.Graph, ro RequestOptions, timeout time.D
 		attrs = append(attrs, "tenant", job.tenant, "degraded", job.degraded)
 	}
 	s.log.Info("job submitted", attrs...)
-	go s.runJob(ctx, job, q, g, prio, degraded)
+	go func() {
+		defer s.drain.done()
+		s.runJob(ctx, job, q, g, prio, degraded)
+	}()
 	return job, nil
 }
 
@@ -471,6 +487,23 @@ func (s *Service) finishJob(job *Job, resp *Response, err error) {
 // so every deduplicated sibling (and the SSE watchers of each) sees
 // identical live snapshots.
 func (s *Service) runJob(ctx context.Context, job *Job, q request, g *tensat.Graph, prio int, degraded bool) {
+	// Panic isolation for the job runner itself (the worker-pool run has
+	// its own recover): the job must always reach a terminal state —
+	// watchers block on job.Done() — and the daemon must survive.
+	defer func() {
+		if r := recover(); r != nil {
+			perr := &tensat.PanicError{Value: r, Stack: debug.Stack()}
+			s.stats.panicked("job")
+			s.log.Error("panic in job runner", "job", job.id,
+				"panic", fmt.Sprint(r), "stack", string(perr.Stack))
+			select {
+			case <-job.done:
+				// Already terminal; nothing left to publish.
+			default:
+				s.finishJob(job, nil, perr)
+			}
+		}
+	}()
 	if entry, tier, ok := s.lookup(ctx, q.key); ok {
 		res, err := entry.inVocabulary(q.names)
 		if err != nil {

@@ -61,6 +61,11 @@ type metrics struct {
 	peerErrors *obs.Counter
 	peerPuts   *obs.Counter
 
+	peerRetries     *obs.Counter
+	peerPushDropped *obs.Counter
+	peerBreaker     *obs.GaugeVec   // by peer
+	panics          *obs.CounterVec // by site
+
 	shed           *obs.Counter
 	tenantRequests *obs.CounterVec // by tenant
 	tenantRejected *obs.CounterVec // by tenant
@@ -117,6 +122,11 @@ func newMetrics(s *Service) *metrics {
 		peerErrors: r.Counter("tensat_peer_errors_total", "Peer requests that failed (timeout, transport, unreadable record) — always degraded to local compute."),
 		peerPuts:   r.Counter("tensat_peer_puts_total", "Cold results pushed to their owning peer."),
 
+		peerRetries:     r.Counter("tensat_peer_retries_total", "Peer fetch retry attempts (transient failures absorbed by backoff)."),
+		peerPushDropped: r.Counter("tensat_peer_push_dropped_total", "Async peer pushes dropped because the bounded push queue was full."),
+		peerBreaker:     r.GaugeVec("tensat_peer_breaker_state", "Per-peer circuit breaker state (0=closed, 1=open, 2=half-open).", "peer"),
+		panics:          r.CounterVec("tensat_panics_total", "Recovered panics by site — each one answered internal_error instead of killing the daemon.", "site"),
+
 		shed:           r.Counter("tensat_shed_total", "Requests degraded to greedy-only extraction under tenant quota pressure."),
 		tenantRequests: r.CounterVec("tensat_tenant_requests_total", "Requests entering admission control, by tenant.", "tenant"),
 		tenantRejected: r.CounterVec("tensat_tenant_rejected_total", "Requests rejected (429) by admission control, by tenant.", "tenant"),
@@ -138,6 +148,18 @@ func newMetrics(s *Service) *metrics {
 			return 0
 		}
 		return float64(s.cfg.Store.Bytes())
+	})
+	r.GaugeFunc("tensat_store_degraded", "1 while the persistent store is in degraded mode (I/O failures; memory tier keeps serving).", func() float64 {
+		if s.store != nil && s.store.isDegraded() {
+			return 1
+		}
+		return 0
+	})
+	r.GaugeFunc("tensat_draining", "1 while the daemon is draining for graceful shutdown.", func() float64 {
+		if s.drain != nil && s.drain.active() {
+			return 1
+		}
+		return 0
 	})
 	r.GaugeFunc("tensat_queue_waiting", "Optimization runs queued for a worker slot.", func() float64 {
 		return float64(s.queue.waiting())

@@ -27,6 +27,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -80,6 +81,11 @@ type Config struct {
 	// are written through on completion and consulted on LRU misses, so
 	// a restarted daemon keeps its warm set.
 	Store cachestore.Store
+	// StoreReprobe is how often a degraded store (one that returned an
+	// I/O error) lets one operation through to test whether the fault
+	// has cleared; 0 means 5 seconds. While degraded, the memory tier
+	// keeps serving and store operations are skipped, not failed.
+	StoreReprobe time.Duration
 	// Cluster, when non-nil, is the peer cache tier: keys whose
 	// consistent-hash owner is another node are fetched from (and cold
 	// results pushed to) that owner. Peer failures degrade to local
@@ -106,6 +112,11 @@ type Service struct {
 	metrics *metrics
 	log     *slog.Logger
 
+	// store guards cfg.Store with degraded-mode hysteresis (nil when no
+	// store is configured); drain coordinates graceful shutdown.
+	store *storeGuard
+	drain *drainState
+
 	// opt is the shared optimizer: the rule set and cost model are
 	// compiled once at construction and reused by every run.
 	opt *tensat.Optimizer
@@ -119,6 +130,8 @@ type Service struct {
 }
 
 // New builds a Service from cfg.
+//
+//lint:ctxflow-exempt constructor: bounded passes over config and fleet membership; no I/O
 func New(cfg Config) *Service {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -162,8 +175,46 @@ func New(cfg Config) *Service {
 		// io.Discard is the same thing.
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	s.drain = newDrainState()
+	if cfg.Store != nil {
+		s.store = newStoreGuard(cfg.Store, cfg.StoreReprobe, func(degraded bool) {
+			if degraded {
+				s.log.Error("result store degraded — serving from memory, reprobing",
+					"reprobe", s.store.reprobe)
+			} else {
+				s.log.Info("result store recovered")
+			}
+		})
+	}
 	s.metrics = newMetrics(s)
 	s.stats.m = s.metrics
+	if cl := cfg.Cluster; cl != nil {
+		// Pre-touch every peer's breaker gauge so dashboards see the
+		// closed (0) state before the first transition.
+		self := cl.Self()
+		for _, peer := range cl.Nodes() {
+			if peer != self {
+				s.metrics.peerBreaker.With(peer).Set(float64(cluster.BreakerClosed))
+			}
+		}
+		cl.SetObserver(cluster.Observer{
+			BreakerChange: func(peer string, state cluster.BreakerState) {
+				s.metrics.peerBreaker.With(peer).Set(float64(state))
+				s.log.Warn("peer breaker transition", "peer", peer, "state", state.String())
+			},
+			PushDone: func(err error) {
+				if err != nil {
+					s.stats.peerError()
+					s.log.Warn("peer push failed", "error", err)
+				} else {
+					s.stats.peerPut()
+				}
+			},
+			FetchRetry: func(peer string) {
+				s.stats.peerRetry()
+			},
+		})
+	}
 	s.optimize = func(ctx context.Context, g *tensat.Graph, opts tensat.Options) (*tensat.Result, error) {
 		job, err := s.opt.Submit(ctx, g, opts)
 		if err != nil {
@@ -567,9 +618,13 @@ func (s *Service) lookup(ctx context.Context, key string) (*cachedResult, string
 		s.stats.hit()
 		return entry, TierMemory, true
 	}
-	if st := s.cfg.Store; st != nil {
-		payload, ok, err := st.Get(key)
+	if st := s.store; st != nil {
+		payload, ok, err := st.get(key)
 		switch {
+		case errors.Is(err, errStoreDegraded):
+			// The store is in degraded mode and this request was not the
+			// probe: a quiet miss, not an error — the gauge and the mode
+			// transition log already tell the story once.
 		case err != nil:
 			s.stats.storeError()
 			s.log.Warn("result store read failed", "key", key, "error", err)
@@ -614,6 +669,12 @@ func (s *Service) lookup(ctx context.Context, key string) (*cachedResult, string
 				s.log.Warn("peer record unreadable or mis-keyed", "key", key, "peer", owner, "error", derr)
 			case errors.Is(err, cluster.ErrNotFound):
 				s.stats.peerMiss()
+			case errors.Is(err, cluster.ErrPeerDown):
+				// Every candidate owner's breaker is open: the client
+				// degraded to local compute without a network round trip.
+				// The breaker gauge carries the signal; logging per
+				// request would just be noise while the peer is down.
+				s.log.Debug("peer tier skipped — no live owner", "key", key)
 			case errors.Is(err, context.Canceled):
 				// The requester went away; not a peer fault.
 			default:
@@ -644,26 +705,30 @@ func (s *Service) cacheResult(key string, entry *cachedResult) {
 	if payload == nil {
 		return
 	}
-	if st := s.cfg.Store; st != nil {
-		if err := st.Put(key, payload); err != nil {
+	if st := s.store; st != nil {
+		switch err := st.put(key, payload); {
+		case errors.Is(err, errStoreDegraded):
+			// Degraded mode: the write is skipped, not failed. The result
+			// still lives in memory and the next probe may recover the
+			// store; a recomputation after restart is the accepted cost.
+		case err != nil:
 			s.stats.storeError()
 			s.log.Warn("result store write failed", "key", key, "error", err)
-		} else {
+		default:
 			s.stats.storePut()
 		}
 	}
 	if cl := s.cfg.Cluster; cl != nil {
-		if owner, local := cl.Owner(key); !local {
-			go func() {
-				// The cluster client bounds the request with its own
-				// timeout; failures are counters, never caller errors.
-				if err := cl.Push(context.Background(), key, payload); err != nil {
-					s.stats.peerError()
-					s.log.Warn("peer push failed", "key", key, "peer", owner, "error", err)
-				} else {
-					s.stats.peerPut()
-				}
-			}()
+		if _, local := cl.Owner(key); !local {
+			// Bounded async push: the queue's workers retry with backoff
+			// and report outcomes through the observer (peer_puts /
+			// peer_errors). A full queue drops the push — the owner just
+			// stays cold for this key — rather than accumulating
+			// goroutines during a peer outage.
+			if !cl.EnqueuePush(key, payload) {
+				s.stats.peerPushDrop()
+				s.log.Warn("peer push dropped — queue full or closed", "key", key)
+			}
 		}
 	}
 }
@@ -683,6 +748,9 @@ func (s *Service) Optimize(ctx context.Context, g *tensat.Graph, ro RequestOptio
 func (s *Service) OptimizeAs(ctx context.Context, g *tensat.Graph, ro RequestOptions, tn *tenant.Tenant) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.drain.active() {
+		return nil, ErrDraining
 	}
 	q, err := s.prepare(g, ro)
 	if err != nil {
@@ -745,6 +813,21 @@ func (s *Service) OptimizeAs(ctx context.Context, g *tensat.Graph, ro RequestOpt
 // the flight call's reference-counted context. parts is the request's
 // cache identity, embedded in the persisted/pushed record.
 func (s *Service) run(key string, parts cachestore.KeyParts, c *flightCall, g *tensat.Graph, opts tensat.Options, prio int, degraded bool) {
+	// Panic isolation, outer ring: the optimizer already recovers
+	// pipeline panics into *tensat.PanicError, so anything reaching this
+	// recover escaped from the serving code around the run (caching,
+	// stats). Either way the flight must be finished — waiters would
+	// hang forever otherwise — and the daemon must survive.
+	finished := false
+	defer func() {
+		if r := recover(); r != nil && !finished {
+			perr := &tensat.PanicError{Value: r, Stack: debug.Stack()}
+			s.stats.panicked("worker")
+			s.log.Error("panic in optimization worker", "key", key,
+				"panic", fmt.Sprint(r), "stack", string(perr.Stack))
+			s.flight.finish(key, c, nil, perr)
+		}
+	}()
 	// Live progress flows into the flight's shared log, where every
 	// waiter — async jobs in particular — can pump it out. Neither the
 	// sink nor the trace switch is part of the cache key (see
@@ -757,6 +840,7 @@ func (s *Service) run(key string, parts cachestore.KeyParts, c *flightCall, g *t
 	// Acquire a worker slot by priority; bail out if every interested
 	// request is gone before one frees up.
 	if err := s.queue.acquire(c.ctx, prio); err != nil {
+		finished = true
 		s.flight.finish(key, c, nil, err)
 		return
 	}
@@ -766,6 +850,15 @@ func (s *Service) run(key string, parts cachestore.KeyParts, c *flightCall, g *t
 	start := time.Now()
 	res, err := s.optimize(c.ctx, g, opts)
 	s.stats.endWork(time.Since(start), err)
+	var perr *tensat.PanicError
+	if errors.As(err, &perr) {
+		// The pipeline panicked inside the optimizer; Submit's recover
+		// converted it to an error, so the flight finishes normally and
+		// every waiter gets internal_error instead of a dead daemon.
+		s.stats.panicked("optimizer")
+		s.log.Error("optimization pipeline panicked", "key", key,
+			"panic", fmt.Sprint(perr.Value), "stack", string(perr.Stack))
+	}
 	if err == nil && res != nil {
 		s.stats.searchWork(res.Search)
 		if res.ILP.Solver != "" {
@@ -785,6 +878,7 @@ func (s *Service) run(key string, parts cachestore.KeyParts, c *flightCall, g *t
 	if err == nil && !degraded && !res.Canceled && !(res.Truncated && opts.ExploreTimeout == 0) {
 		s.cacheResult(key, &cachedResult{res: res, tensors: c.tensors, parts: parts})
 	}
+	finished = true
 	s.flight.finish(key, c, res, err)
 }
 
@@ -798,6 +892,10 @@ func (s *Service) Stats() Stats {
 		st.StoreEntries = s.cfg.Store.Len()
 		st.StoreBytes = s.cfg.Store.Bytes()
 	}
+	if s.store != nil {
+		st.StoreDegraded = s.store.isDegraded()
+	}
+	st.Draining = s.drain.active()
 	st.Jobs = s.jobs.counters()
 	return st
 }

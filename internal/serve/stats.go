@@ -38,12 +38,26 @@ type Stats struct {
 	// peer, clean peer misses, transport failures (always soft), and
 	// completed pushes of cold results to their owners.
 	Peer TierCounters
+	// PeerRetries counts fetch retry attempts against peers (transient
+	// failures absorbed by backoff); PeerPushDropped counts async pushes
+	// dropped because the bounded push queue was full.
+	PeerRetries     uint64
+	PeerPushDropped uint64
 	// Shed counts requests degraded to greedy-only extraction because
 	// their tenant was over quota; TenantRequests/TenantRejected count
 	// per-tenant admission outcomes.
 	Shed           uint64
 	TenantRequests map[string]uint64
 	TenantRejected map[string]uint64
+	// Panics counts recovered panics by site ("optimizer", "worker",
+	// "job"): each one was a request that answered 500 instead of
+	// killing the daemon. Empty when none have occurred.
+	Panics map[string]uint64
+	// StoreDegraded reports whether the persistent store is currently
+	// in degraded mode (I/O failures; the memory tier keeps serving).
+	// Draining reports whether the service is shutting down gracefully.
+	StoreDegraded bool
+	Draining      bool
 	// Jobs counts the asynchronous job lifecycle (submitted, running,
 	// done, canceled, failed).
 	Jobs JobCounters
@@ -112,24 +126,27 @@ const latencyWindow = 512
 type collector struct {
 	m *metrics
 
-	mu        sync.Mutex
-	hits      uint64
-	misses    uint64
-	deduped   uint64
-	completed uint64
-	errors    uint64
-	canceled  uint64
-	inFlight  int
-	profiles  map[string]uint64
-	search    SearchCounters
-	ilp       ILPCounters
-	store     TierCounters
-	peer      TierCounters
-	shedTotal uint64
-	tenantReq map[string]uint64
-	tenantRej map[string]uint64
-	ring      [latencyWindow]time.Duration
-	ringN     int // total latencies ever recorded
+	mu              sync.Mutex
+	hits            uint64
+	misses          uint64
+	deduped         uint64
+	completed       uint64
+	errors          uint64
+	canceled        uint64
+	inFlight        int
+	profiles        map[string]uint64
+	search          SearchCounters
+	ilp             ILPCounters
+	store           TierCounters
+	peer            TierCounters
+	peerRetries     uint64
+	peerPushDropped uint64
+	panics          map[string]uint64
+	shedTotal       uint64
+	tenantReq       map[string]uint64
+	tenantRej       map[string]uint64
+	ring            [latencyWindow]time.Duration
+	ringN           int // total latencies ever recorded
 }
 
 func (c *collector) hit() {
@@ -228,6 +245,40 @@ func (c *collector) peerPut() {
 	c.mu.Unlock()
 	if c.m != nil {
 		c.m.peerPuts.Inc()
+	}
+}
+
+// peerRetry counts one fetch retry attempt against a peer.
+func (c *collector) peerRetry() {
+	c.mu.Lock()
+	c.peerRetries++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.peerRetries.Inc()
+	}
+}
+
+// peerPushDrop counts one async push dropped on a full queue.
+func (c *collector) peerPushDrop() {
+	c.mu.Lock()
+	c.peerPushDropped++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.peerPushDropped.Inc()
+	}
+}
+
+// panicked counts one recovered panic at the named site. Every call
+// means a request failed with internal_error but the daemon survived.
+func (c *collector) panicked(site string) {
+	c.mu.Lock()
+	if c.panics == nil {
+		c.panics = make(map[string]uint64)
+	}
+	c.panics[site]++
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.panics.With(site).Inc()
 	}
 }
 
@@ -392,6 +443,15 @@ func (c *collector) snapshot() Stats {
 		Store:     c.store,
 		Peer:      c.peer,
 		Shed:      c.shedTotal,
+
+		PeerRetries:     c.peerRetries,
+		PeerPushDropped: c.peerPushDropped,
+	}
+	if len(c.panics) > 0 {
+		s.Panics = make(map[string]uint64, len(c.panics))
+		for k, v := range c.panics {
+			s.Panics[k] = v
+		}
 	}
 	if len(c.tenantReq) > 0 {
 		s.TenantRequests = make(map[string]uint64, len(c.tenantReq))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -344,10 +345,38 @@ func (o *Optimizer) Submit(ctx context.Context, g *Graph, opts Options) (*Job, e
 		prog:   Progress{Phase: PhaseQueued},
 	}
 	go func() {
-		res, err := o.run(jctx, g, opts, func(p Progress) { j.record(p, opts.Progress) })
+		res, err := o.runRecover(jctx, g, opts, func(p Progress) { j.record(p, opts.Progress) })
 		j.finish(res, err, opts.Progress)
 	}()
 	return j, nil
+}
+
+// PanicError is what a job that panicked mid-pipeline fails with: the
+// recovered value plus the goroutine stack at the point of the panic.
+// A buggy rewrite rule or cost model fails its own job this way
+// instead of killing the process; serving layers map it to a 500-class
+// internal error and must never cache the job as a result.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("tensat: internal panic: %v", e.Value)
+}
+
+// runRecover is run with a panic barrier: every Submit-spawned job
+// goroutine goes through it, so a panic anywhere in exploration or
+// extraction becomes a PanicError on the job rather than a crash.
+func (o *Optimizer) runRecover(ctx context.Context, g *Graph, opt Options, sink func(Progress)) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return o.run(ctx, g, opt, sink)
 }
 
 // run executes the full pipeline (exploration, then extraction),
